@@ -1,0 +1,75 @@
+"""Ablation: fence synchronization domains and patterns.
+
+Section V-A: limiting a fence's hop count shrinks its synchronization
+domain and its latency — range-limited interactions only need positions
+from nodes within k hops, so MD software fences over small domains
+instead of the whole machine.  This ablation quantifies that saving and
+compares the GC-to-GC and GC-to-ICB patterns.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fence import FenceEngine, FencePattern
+from repro.netsim import NetworkMachine
+
+
+@pytest.fixture(scope="module")
+def engine(machine128):
+    return FenceEngine(machine128)
+
+
+def test_domain_limited_fence_saves_latency(engine, benchmark):
+    """A 2-hop interaction-domain fence vs the 8-hop global barrier."""
+    domain = benchmark.pedantic(engine.barrier_latency, args=(2,),
+                                rounds=1, iterations=1)
+    global_barrier = engine.barrier_latency(8)
+    saving = global_barrier - domain
+    print(f"\nABLATION: 2-hop fence {domain:.0f} ns vs global "
+          f"{global_barrier:.0f} ns (saves {saving:.0f} ns per sync)")
+    assert domain < global_barrier / 2
+
+
+def test_gc_to_icb_cheaper_than_gc_to_gc(engine, benchmark):
+    benchmark.pedantic(engine.barrier_latency,
+                       args=(1, FencePattern.GC_TO_ICB),
+                       rounds=1, iterations=1)
+    rows = []
+    for pattern in (FencePattern.GC_TO_GC, FencePattern.GC_TO_ICB):
+        latency = engine.barrier_latency(2, pattern)
+        rows.append((pattern.value, f"{latency:.1f}"))
+    print("\nABLATION: fence pattern (2 hops)")
+    print(format_table(("pattern", "latency ns"), rows))
+    gc = engine.barrier_latency(2, FencePattern.GC_TO_GC)
+    icb = engine.barrier_latency(2, FencePattern.GC_TO_ICB)
+    assert icb < gc
+
+
+def test_vc_coverage_cost(machine128, benchmark):
+    """Fences cover all request VCs and both slices (Section V-C); fewer
+    copies would be faster but would not cover all valid paths.  The
+    latency delta quantifies the price of full coverage."""
+    full = FenceEngine(machine128, request_vcs=4, slices=2)
+    partial = FenceEngine(machine128, request_vcs=1, slices=1)
+    lat_full = benchmark.pedantic(full.barrier_latency, args=(2,),
+                                  rounds=1, iterations=1)
+    lat_partial = partial.barrier_latency(2)
+    print(f"\nfull coverage {lat_full:.0f} ns vs single-path "
+          f"{lat_partial:.0f} ns (coverage costs "
+          f"{lat_full - lat_partial:.0f} ns)")
+    assert lat_partial <= lat_full
+
+
+def test_fence_vs_pairwise_messages(machine128, benchmark):
+    """The point of in-network merging: an all-to-all barrier built from
+    point-to-point messages needs O(N^2) packets; the fence needs a
+    constant number of channel crossings per node per round."""
+    engine = benchmark(FenceEngine, machine128)
+    n = machine128.torus.dims.num_nodes
+    fence_packets = (n * 6 * engine.copies_per_direction
+                     * machine128.torus.dims.diameter)
+    naive_packets = n * (n - 1)
+    print(f"\nfence packets {fence_packets} vs naive all-to-all "
+          f"{naive_packets} (and naive packets travel multiple hops)")
+    # With merging the count scales linearly in N, not quadratically.
+    assert fence_packets < naive_packets * machine128.torus.dims.diameter

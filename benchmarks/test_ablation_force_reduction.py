@@ -1,0 +1,56 @@
+"""Ablation: in-network force reduction (the paper's footnote 3).
+
+Anton 3 implements in-network reduction for summing stored-set forces;
+applied to stream-set force returns it merges partial forces for the same
+atom at router joins, so each channel of the reduction tree carries one
+packet per atom instead of one per (owner, atom).  This ablation
+quantifies the channel-bit saving on the water workload.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fullsim import FULL, TrafficModel
+
+
+@pytest.fixture(scope="module")
+def traffic_pair(water_runs):
+    engine, snapshots, decomp = water_runs.get(8192)
+    results = {}
+    for reduction in (False, True):
+        model = TrafficModel(decomp, FULL, engine.field.cutoff,
+                             force_reduction=reduction)
+        force_bits = 0
+        total_bits = 0
+        for i, snapshot in enumerate(snapshots):
+            traffic = model.process_step(snapshot)
+            if i >= 3:
+                force_bits += traffic.force_bits
+                total_bits += traffic.total_bits
+        results[reduction] = (force_bits, total_bits)
+    return results
+
+
+def test_force_reduction_saves_bits(traffic_pair, benchmark):
+    benchmark(lambda: traffic_pair[True])
+    unicast_force, unicast_total = traffic_pair[False]
+    reduced_force, reduced_total = traffic_pair[True]
+    saving = 1.0 - reduced_force / unicast_force
+    rows = [("unicast returns", unicast_force, unicast_total),
+            ("in-network reduction", reduced_force, reduced_total)]
+    print("\nABLATION: in-network force reduction (8192 atoms)")
+    print(format_table(("scheme", "force bits", "total bits"), rows))
+    print(f"force-traffic saving: {saving:.1%}")
+    assert reduced_force < unicast_force
+    assert reduced_total < unicast_total
+
+
+def test_reduction_never_increases_any_channel(water_runs, benchmark):
+    engine, snapshots, decomp = water_runs.get(2048)
+    unicast = TrafficModel(decomp, FULL, engine.field.cutoff)
+    reduced = TrafficModel(decomp, FULL, engine.field.cutoff,
+                           force_reduction=True)
+    tu = benchmark.pedantic(unicast.process_step, args=(snapshots[0],),
+                            rounds=1, iterations=1)
+    tr = reduced.process_step(snapshots[0])
+    assert tr.force_packets <= tu.force_packets

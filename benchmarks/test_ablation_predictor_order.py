@@ -1,0 +1,52 @@
+"""Ablation: particle-cache predictor order (constant/linear/quadratic).
+
+The paper's finite-difference formulation ramps from a constant predictor
+through linear to quadratic as history accumulates (Section IV-B2).  This
+ablation freezes the predictor at each order and measures the resulting
+traffic reduction on the same water workload — quantifying what each
+difference term buys.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compression.extrapolation import (
+    ORDER_CONSTANT,
+    ORDER_LINEAR,
+    ORDER_QUADRATIC,
+)
+from repro.fullsim import BASELINE, FULL, TrafficModel, compare_configurations
+
+ORDERS = [("constant", ORDER_CONSTANT), ("linear", ORDER_LINEAR),
+          ("quadratic", ORDER_QUADRATIC)]
+
+
+@pytest.fixture(scope="module")
+def ablation(water_runs):
+    engine, snapshots, decomp = water_runs.get(4096)
+    results = {}
+    for name, order in ORDERS:
+        comparison = compare_configurations(
+            snapshots, decomp, engine.field.cutoff,
+            configs=(BASELINE, FULL), pcache_order=order)
+        results[name] = comparison.reduction_vs_baseline("inz+pcache")
+    return results
+
+
+def test_predictor_order_ablation(ablation, benchmark):
+    benchmark(lambda: ablation["quadratic"])
+    rows = [(name, f"{ablation[name]:.1%}") for name, __ in ORDERS]
+    print("\nABLATION: particle-cache predictor order (4096 atoms)")
+    print(format_table(("predictor", "traffic reduction"), rows))
+    # Higher orders never hurt on smooth MD trajectories.
+    assert ablation["constant"] <= ablation["linear"] + 0.005
+    assert ablation["linear"] <= ablation["quadratic"] + 0.005
+
+
+def test_linear_term_carries_most_of_the_benefit(ablation, benchmark):
+    """Most of the win over constant prediction comes from the velocity
+    term; the quadratic term is a smaller refinement."""
+    benchmark(lambda: ablation["linear"])
+    constant_gain = ablation["linear"] - ablation["constant"]
+    quadratic_gain = ablation["quadratic"] - ablation["linear"]
+    assert constant_gain >= quadratic_gain

@@ -1,0 +1,74 @@
+"""Figure 11: network-fence barrier latency vs hop count.
+
+GC-to-GC fences on the simulated 128-node (4 x 4 x 8) machine.  Paper
+results: 51.5 ns intra-node (0 hops), a linear region of ~91.2 ns fixed +
+~51.8 ns per hop, and ~504 ns for the 8-hop global barrier; the fence
+per-hop cost exceeds the 34.2 ns messaging per-hop because fences traverse
+all valid paths at every hop.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Comparison,
+    comparison_table,
+    fit_latency_vs_hops,
+    format_table,
+)
+from repro.config import (
+    PAPER_FENCE_FIXED_NS,
+    PAPER_FENCE_GLOBAL_128_NS,
+    PAPER_FENCE_PER_HOP_NS,
+    PAPER_FENCE_ZERO_HOP_NS,
+    PAPER_LATENCY_PER_HOP_NS,
+)
+from repro.fence import FenceEngine
+
+
+@pytest.fixture(scope="module")
+def fence_curve(machine128):
+    engine = FenceEngine(machine128)
+    return {hops: engine.barrier_latency(hops) for hops in range(9)}
+
+
+def test_fig11_curve_and_fit(fence_curve, benchmark):
+    fit = benchmark(fit_latency_vs_hops, fence_curve)
+    rows = [(h, f"{v:.1f}") for h, v in sorted(fence_curve.items())]
+    print("\nFIGURE 11 (regenerated): fence barrier latency vs hops")
+    print(format_table(("hops", "latency ns"), rows))
+    print(comparison_table([
+        Comparison("0-hop barrier (ns)", fence_curve[0],
+                   PAPER_FENCE_ZERO_HOP_NS),
+        Comparison("fixed overhead (ns)", fit.fixed_ns,
+                   PAPER_FENCE_FIXED_NS),
+        Comparison("per-hop (ns)", fit.per_hop_ns, PAPER_FENCE_PER_HOP_NS),
+        Comparison("8-hop global barrier (ns)", fence_curve[8],
+                   PAPER_FENCE_GLOBAL_128_NS),
+    ]))
+    assert fence_curve[0] == pytest.approx(PAPER_FENCE_ZERO_HOP_NS,
+                                           rel=0.05)
+    assert fit.per_hop_ns == pytest.approx(PAPER_FENCE_PER_HOP_NS, rel=0.08)
+    assert fit.fixed_ns == pytest.approx(PAPER_FENCE_FIXED_NS, rel=0.15)
+    assert fence_curve[8] == pytest.approx(PAPER_FENCE_GLOBAL_128_NS,
+                                           rel=0.05)
+
+
+def test_fig11_linearity(fence_curve, benchmark):
+    """Barrier latency scales linearly with the network diameter."""
+    fit = benchmark(fit_latency_vs_hops, fence_curve)
+    assert fit.r_squared > 0.999
+
+
+def test_fig11_fence_hop_exceeds_message_hop(fence_curve, benchmark):
+    fit = benchmark(fit_latency_vs_hops, fence_curve)
+    extra = fit.per_hop_ns - PAPER_LATENCY_PER_HOP_NS
+    print(f"\nfence per-hop exceeds messaging per-hop by {extra:.1f} ns "
+          "(paper: ~17.6 ns)")
+    assert 10.0 < extra < 25.0
+
+
+def test_fig11_barrier_benchmark(benchmark, machine128):
+    engine = FenceEngine(machine128)
+    latency = benchmark.pedantic(engine.barrier_latency, args=(2,),
+                                 rounds=3, iterations=1)
+    assert latency > 0

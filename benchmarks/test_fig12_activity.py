@@ -1,0 +1,88 @@
+"""Figure 12: machine activity during range-limited pairwise interactions.
+
+A 32,751-atom water-only system on an 8-node machine, with compression
+disabled (a) and enabled (b).  Paper result: a time step's pairwise phase
+takes roughly 2000 ns uncompressed and 900 ns compressed; the channels are
+saturated while the PPIMs idle without compression, and compression raises
+PPIM utilization.
+"""
+
+import pytest
+
+from repro.analysis import render_ascii, trace_from_breakdowns
+from repro.config import (
+    PAPER_TIMESTEP_COMPRESSED_NS,
+    PAPER_TIMESTEP_UNCOMPRESSED_NS,
+)
+from repro.fullsim import BASELINE, FULL, TimestepModel, TrafficModel
+from repro.md import Decomposition, MdEngine
+
+FIG12_ATOMS = 32751
+
+
+@pytest.fixture(scope="module")
+def fig12_run():
+    engine = MdEngine.water(FIG12_ATOMS, seed=1)
+    snapshots = engine.run(6)
+    decomp = Decomposition(box=engine.system.box, node_dims=(2, 2, 2))
+    model = TimestepModel()
+    results = {}
+    for config in (BASELINE, FULL):
+        traffic_model = TrafficModel(decomp, config, engine.field.cutoff)
+        traffics, breakdowns = [], []
+        for i, snapshot in enumerate(snapshots):
+            traffic = traffic_model.process_step(snapshot)
+            if i < 3:
+                continue  # particle-cache warmup
+            traffics.append(traffic)
+            breakdowns.append(model.evaluate(
+                traffic, num_pairs=snapshot.record.num_pairs,
+                num_atoms=FIG12_ATOMS, num_nodes=8))
+        results[config.label] = (traffics, breakdowns)
+    return results
+
+
+def test_fig12_pairwise_phase_durations(fig12_run, benchmark):
+    benchmark(lambda: fig12_run["baseline"][1][-1].pairwise_phase_ns)
+    base = fig12_run["baseline"][1]
+    comp = fig12_run["inz+pcache"][1]
+    base_ns = sum(b.pairwise_phase_ns for b in base) / len(base)
+    comp_ns = sum(b.pairwise_phase_ns for b in comp) / len(comp)
+    print(f"\nFIGURE 12 (regenerated): pairwise phase "
+          f"{base_ns:.0f} ns uncompressed vs {comp_ns:.0f} ns compressed "
+          f"(paper ~{PAPER_TIMESTEP_UNCOMPRESSED_NS:.0f} / "
+          f"~{PAPER_TIMESTEP_COMPRESSED_NS:.0f})")
+    assert base_ns == pytest.approx(PAPER_TIMESTEP_UNCOMPRESSED_NS,
+                                    rel=0.15)
+    assert comp_ns == pytest.approx(PAPER_TIMESTEP_COMPRESSED_NS, rel=0.20)
+    assert base_ns / comp_ns == pytest.approx(2.2, abs=0.5)
+
+
+def test_fig12_activity_plots(fig12_run, benchmark):
+    traffics0, breakdowns0 = fig12_run["baseline"]
+    benchmark.pedantic(trace_from_breakdowns,
+                       args=(breakdowns0[:1], traffics0[:1]),
+                       rounds=1, iterations=1)
+    for label in ("baseline", "inz+pcache"):
+        traffics, breakdowns = fig12_run[label]
+        trace = trace_from_breakdowns(breakdowns[:2], traffics[:2])
+        print(f"\nFIGURE 12 ({label}) machine activity:")
+        print(render_ascii(trace, bins=24))
+
+
+def test_fig12_channels_saturated_ppims_idle_without_compression(
+        fig12_run, benchmark):
+    benchmark(lambda: fig12_run["baseline"][1][-1].ppim_utilization)
+    base = fig12_run["baseline"][1][-1]
+    comp = fig12_run["inz+pcache"][1][-1]
+    assert base.channel_bound
+    assert base.ppim_utilization < 0.4   # PPIMs substantially idle
+    assert comp.ppim_utilization > base.ppim_utilization * 1.5
+
+
+def test_fig12_phase_model_benchmark(benchmark, fig12_run):
+    traffics, __ = fig12_run["baseline"]
+    model = TimestepModel()
+    breakdown = benchmark(model.evaluate, traffics[-1], 1_300_000,
+                          FIG12_ATOMS, 8)
+    assert breakdown.total_ns > 0

@@ -1,0 +1,70 @@
+"""Figure 5: average one-way end-to-end latency vs inter-node hops.
+
+Measured on the simulated 128-node (4 x 4 x 8) machine by counted-write
+ping-pong with 16-byte payloads, averaged over sampled GC placements.
+Paper result: linear fit of 55.9 ns fixed + 34.2 ns per hop; minimum
+single-hop latency ~55 ns; the 0-hop point lies below the fit.
+"""
+
+import pytest
+
+from repro.analysis import Comparison, comparison_table, fit_latency_vs_hops, format_table
+from repro.config import (
+    PAPER_LATENCY_FIXED_NS,
+    PAPER_LATENCY_PER_HOP_NS,
+    PAPER_MIN_ONE_HOP_LATENCY_NS,
+)
+from repro.netsim import CoreAddress, PingPongHarness
+
+
+@pytest.fixture(scope="module")
+def curve(machine128):
+    harness = PingPongHarness(machine128, seed=17)
+    return harness.latency_vs_hops(max_hops=8, samples_per_hop=15)
+
+
+def test_fig5_curve_and_fit(curve, benchmark):
+    points = {h: s.mean for h, s in curve.items()}
+    fit = benchmark(fit_latency_vs_hops, points)
+    rows = [(h, f"{points[h]:.1f}", f"{fit.predict(h):.1f}")
+            for h in sorted(points)]
+    print("\nFIGURE 5 (regenerated): one-way latency vs hops")
+    print(format_table(("hops", "measured ns", "fit ns"), rows))
+    print(comparison_table([
+        Comparison("fixed overhead (ns)", fit.fixed_ns,
+                   PAPER_LATENCY_FIXED_NS),
+        Comparison("per-hop latency (ns)", fit.per_hop_ns,
+                   PAPER_LATENCY_PER_HOP_NS),
+    ]))
+    assert fit.per_hop_ns == pytest.approx(PAPER_LATENCY_PER_HOP_NS,
+                                           rel=0.10)
+    assert fit.fixed_ns == pytest.approx(PAPER_LATENCY_FIXED_NS, rel=0.15)
+    assert fit.r_squared > 0.98
+
+
+def test_fig5_zero_hop_below_fit(curve, benchmark):
+    points = {h: s.mean for h, s in curve.items()}
+    fit = benchmark(fit_latency_vs_hops, points)
+    assert points[0] < fit.fixed_ns
+
+
+def test_fig5_minimum_single_hop(machine128, benchmark):
+    harness = PingPongHarness(machine128, seed=18)
+    minimum = benchmark.pedantic(
+        harness.minimum_one_hop_latency, kwargs={"samples": 30},
+        rounds=1, iterations=1)
+    print(f"\nminimum 1-hop latency: {minimum:.1f} ns "
+          f"(paper ~{PAPER_MIN_ONE_HOP_LATENCY_NS:.0f} ns)")
+    assert minimum == pytest.approx(PAPER_MIN_ONE_HOP_LATENCY_NS, rel=0.10)
+
+
+def test_fig5_single_ping_benchmark(benchmark, machine128):
+    """Wall-clock cost of simulating one 1-hop ping-pong."""
+    harness = PingPongHarness(machine128, seed=19)
+
+    def one_ping():
+        return harness.measure_pair((0, 0, 0), CoreAddress(0, 4, 0),
+                                    (1, 0, 0), CoreAddress(0, 4, 0))
+
+    result = benchmark.pedantic(one_ping, rounds=5, iterations=1)
+    assert result.one_way_ns > 0

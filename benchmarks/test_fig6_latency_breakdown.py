@@ -1,0 +1,47 @@
+"""Figure 6: breakdown of the minimum ~55 ns inter-node latency.
+
+The analytic model decomposes the best-placement one-hop path into the
+endpoint and network component segments the paper plots, using the same
+calibrated parameters as the flit simulator (which cross-validates it).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import PAPER_MIN_ONE_HOP_LATENCY_NS
+from repro.machine import (
+    breakdown_total_ns,
+    minimum_one_hop_breakdown,
+    per_hop_breakdown,
+    per_hop_total_ns,
+)
+from repro.netsim import PingPongHarness
+
+
+def test_fig6_breakdown_table(benchmark):
+    entries = benchmark(minimum_one_hop_breakdown)
+    total = sum(e.ns for e in entries)
+    rows = [(e.component, f"{e.ns:.2f}", f"{100 * e.ns / total:.0f}%")
+            for e in entries]
+    print("\nFIGURE 6 (regenerated): minimum one-hop latency breakdown")
+    print(format_table(("component", "ns", "share"), rows))
+    print(f"total: {total:.1f} ns (paper ~55 ns)")
+    assert total == pytest.approx(PAPER_MIN_ONE_HOP_LATENCY_NS, abs=5.0)
+
+
+def test_fig6_recurring_hop_cost(benchmark):
+    entries = benchmark(per_hop_breakdown)
+    rows = [(e.component, f"{e.ns:.2f}") for e in entries]
+    print("\nper-hop recurring cost")
+    print(format_table(("component", "ns"), rows))
+    assert per_hop_total_ns() == pytest.approx(34.2, abs=3.0)
+
+
+def test_fig6_agrees_with_flit_simulator(machine128, benchmark):
+    harness = PingPongHarness(machine128, seed=23)
+    measured = benchmark.pedantic(
+        harness.minimum_one_hop_latency, kwargs={"samples": 24},
+        rounds=1, iterations=1)
+    analytic = breakdown_total_ns()
+    print(f"\nanalytic {analytic:.1f} ns vs flit-simulated {measured:.1f} ns")
+    assert analytic == pytest.approx(measured, abs=5.0)

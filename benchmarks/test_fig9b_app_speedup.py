@@ -1,0 +1,57 @@
+"""Figure 9b: overall MD application speedup with compression enabled.
+
+Same water sweep as Figure 9a; speedup is the ratio of compression-off to
+compression-on time-step durations from the full-system phase model.
+Paper result: speedups between 1.18 and 1.62 across the size sweep.
+"""
+
+import pytest
+
+from repro.analysis import format_table, within_band
+from repro.config import PAPER_APP_SPEEDUP_RANGE
+from repro.fullsim import evaluate_system
+
+ATOM_COUNTS = (2048, 4096, 8192, 16384)
+
+
+@pytest.fixture(scope="module")
+def sweep(water_runs):
+    results = {}
+    for n in ATOM_COUNTS:
+        engine, snapshots, decomp = water_runs.get(n)
+        results[n] = evaluate_system(snapshots, decomp, engine.field.cutoff)
+    return results
+
+
+def test_fig9b_speedup_band(sweep, benchmark):
+    benchmark(lambda: [r.speedup() for r in sweep.values()])
+    rows = []
+    for n, result in sorted(sweep.items()):
+        rows.append((n,
+                     f"{result.outcomes['baseline'].mean_step_ns:.0f}",
+                     f"{result.outcomes['inz+pcache'].mean_step_ns:.0f}",
+                     f"{result.speedup(config='inz'):.2f}",
+                     f"{result.speedup():.2f}"))
+    print("\nFIGURE 9b (regenerated): application speedup")
+    print(format_table(("atoms", "base step ns", "comp step ns",
+                        "INZ speedup", "INZ+pcache speedup"), rows))
+    print(f"paper band: {PAPER_APP_SPEEDUP_RANGE}")
+    for result in sweep.values():
+        assert within_band(result.speedup(), PAPER_APP_SPEEDUP_RANGE,
+                           slack=0.10)
+
+
+def test_fig9b_full_compression_beats_inz_only(sweep, benchmark):
+    benchmark(lambda: sweep[2048].speedup(config="inz"))
+    for result in sweep.values():
+        assert result.speedup() > result.speedup(config="inz") > 1.0
+
+
+def test_fig9b_evaluation_benchmark(benchmark, water_runs):
+    engine, snapshots, decomp = water_runs.get(2048)
+
+    def evaluate():
+        return evaluate_system(snapshots, decomp, engine.field.cutoff)
+
+    result = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    assert result.speedup() > 1.0

@@ -1,0 +1,47 @@
+"""Table I: key features for the three Anton ASICs.
+
+Regenerates the published generation-comparison table and verifies the
+scaling argument that motivates the paper (24x compute vs 2.1x bandwidth
+from Anton 2 to Anton 3).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import ASIC_GENERATIONS
+
+
+def build_table1():
+    rows = []
+    fields = [
+        ("Power-on Year", lambda g: g.power_on_year),
+        ("Process Technology (nm)", lambda g: g.process_nm),
+        ("Die Size (mm2)", lambda g: g.die_size_mm2),
+        ("Clock Rate (GHz)", lambda g: g.clock_ghz),
+        ("Max Pairwise Throughput (GOPS)", lambda g: g.max_pairwise_gops),
+        ("Number of SERDES", lambda g: g.num_serdes),
+        ("SERDES Per-Lane Bandwidth (Gb/s)", lambda g: g.serdes_lane_gbps),
+        ("Inter-node Bidir Bandwidth (GB/s)",
+         lambda g: g.inter_node_bidir_gbs),
+    ]
+    gens = [ASIC_GENERATIONS[k] for k in ("anton1", "anton2", "anton3")]
+    for name, getter in fields:
+        rows.append([name] + [getter(g) for g in gens])
+    return format_table(["Feature", "Anton 1", "Anton 2", "Anton 3"], rows)
+
+
+def test_table1_regenerates(benchmark):
+    table = benchmark(build_table1)
+    print("\nTABLE I (regenerated)\n" + table)
+    assert "5914" in table  # Anton 3 pairwise throughput
+    assert "29" in table    # 29 Gb/s lanes
+
+
+def test_table1_scaling_motivation(benchmark):
+    a2 = benchmark(lambda: ASIC_GENERATIONS["anton2"])
+    a3 = ASIC_GENERATIONS["anton3"]
+    compute = a3.max_pairwise_gops / a2.max_pairwise_gops
+    bandwidth = a3.inter_node_bidir_gbs / a2.inter_node_bidir_gbs
+    print(f"\ncompute scaling {compute:.1f}x vs bandwidth {bandwidth:.1f}x")
+    assert compute == pytest.approx(24, abs=1)
+    assert bandwidth == pytest.approx(2.1, abs=0.1)

@@ -1,0 +1,33 @@
+"""Table II: network component contributions to total die area.
+
+Paper result: 288 Core Routers (9.4%), 72 Edge Routers (1.4%), 24 Channel
+Adapters (2.8%), 72 Row Adapters (0.5%) — 14.1% of the die in total.
+"""
+
+import pytest
+
+from repro.analysis import AreaModel, PAPER_TABLE2, format_table
+from repro.machine import AsicFloorplan
+
+
+def test_table2_regenerates(benchmark):
+    model = AreaModel()
+    rows = benchmark(model.component_rows)
+    table_rows = [(r.name, r.count, f"{r.area_mm2:.1f}",
+                   f"{r.percent_of_die:.1f}%") for r in rows]
+    total = model.network_total_percent()
+    print("\nTABLE II (regenerated)")
+    print(format_table(("component", "count", "mm2", "% of die"),
+                       table_rows))
+    print(f"total: {total:.1f}% (paper: 14.1%)")
+    for row in rows:
+        count, percent = PAPER_TABLE2[row.name]
+        assert row.count == count
+        assert row.percent_of_die == pytest.approx(percent, abs=0.05)
+    assert total == pytest.approx(14.1, abs=0.1)
+
+
+def test_table2_counts_derive_from_floorplan(benchmark):
+    """The component counts fall out of the tiled layout (Figure 1)."""
+    problems = benchmark(lambda: AsicFloorplan().validate_against_paper())
+    assert problems == []

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Latency survey: reproduce the shape of Figures 5 and 6 interactively.
+
+Measures one-way end-to-end latency against inter-node hop count with
+counted-write ping-pongs on a simulated machine, fits the linear model the
+paper reports (55.9 ns + 34.2 ns/hop on the real 128-node Anton 3), and
+prints the minimum-latency component breakdown.
+
+Run:  python examples/latency_survey.py [--nodes 4 4 8] [--samples 10]
+"""
+
+import argparse
+
+from repro.analysis import fit_latency_vs_hops, format_table
+from repro.machine import minimum_one_hop_breakdown
+from repro.netsim import NetworkMachine, PingPongHarness
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs=3, default=(2, 2, 4),
+                        help="torus dimensions (default 2 2 4)")
+    parser.add_argument("--samples", type=int, default=10,
+                        help="GC placements sampled per hop count")
+    parser.add_argument("--full-chips", action="store_true",
+                        help="use full 24x12 chips (slower to build)")
+    args = parser.parse_args()
+
+    if args.full_chips:
+        machine = NetworkMachine(dims=tuple(args.nodes), seed=3)
+    else:
+        machine = NetworkMachine(dims=tuple(args.nodes), chip_cols=12,
+                                 chip_rows=6, seed=3)
+    print(f"machine: {machine.torus.dims.num_nodes} nodes "
+          f"{tuple(args.nodes)}, diameter "
+          f"{machine.torus.dims.diameter} hops\n")
+
+    harness = PingPongHarness(machine, seed=4)
+    curve = harness.latency_vs_hops(samples_per_hop=args.samples)
+    points = {h: s.mean for h, s in curve.items()}
+    fit = fit_latency_vs_hops(points)
+
+    rows = [(h, f"{points[h]:.1f}", f"{fit.predict(h):.1f}")
+            for h in sorted(points)]
+    print(format_table(("hops", "mean one-way ns", "linear fit ns"), rows))
+    print(f"\nfit: {fit.fixed_ns:.1f} ns fixed + "
+          f"{fit.per_hop_ns:.1f} ns/hop (r^2 = {fit.r_squared:.4f})")
+    print("paper (128-node Anton 3): 55.9 ns + 34.2 ns/hop\n")
+
+    print("minimum one-hop breakdown (Figure 6 shape):")
+    entries = minimum_one_hop_breakdown()
+    total = sum(e.ns for e in entries)
+    for entry in entries:
+        bar = "#" * max(1, round(entry.ns * 3))
+        print(f"  {entry.component:36s} {entry.ns:5.2f} ns {bar}")
+    print(f"  {'total':36s} {total:5.2f} ns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the wheel package (offline installs).
+
+``pip install -e . --no-build-isolation`` uses this via the legacy path
+when PEP 517 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

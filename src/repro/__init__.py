@@ -1,0 +1,23 @@
+"""repro: an open-source model of the Anton 3 specialized network.
+
+Reproduction of "The Specialized High-Performance Network on Anton 3"
+(HPCA 2022).  Subpackages:
+
+* :mod:`repro.config` — published machine constants (Table I etc.).
+* :mod:`repro.engine` — discrete-event simulation kernel.
+* :mod:`repro.topology` — 3D torus and on-chip 2D meshes.
+* :mod:`repro.netsim` — flit-level network simulator (routers, channels).
+* :mod:`repro.sync` — counted writes and blocking reads.
+* :mod:`repro.fence` — the network fence (merge, multicast, barriers).
+* :mod:`repro.compression` — INZ and the particle cache.
+* :mod:`repro.md` — molecular-dynamics workload substrate.
+* :mod:`repro.machine` — floorplan, component, and latency models.
+* :mod:`repro.fullsim` — full-system traffic and time-step models.
+* :mod:`repro.analysis` — fits, area model, activity plots, reports.
+"""
+
+from . import config
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "__version__"]

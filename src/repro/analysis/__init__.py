@@ -1,0 +1,30 @@
+"""Analysis: fits, area model, activity traces, report formatting."""
+
+from .activity import (
+    COMPONENTS,
+    ActivityTrace,
+    Interval,
+    render_ascii,
+    trace_from_breakdowns,
+)
+from .area import PAPER_TABLE2, PAPER_TABLE3, AreaModel, AreaRow
+from .fits import LinearFit, fit_latency_vs_hops
+from .report import Comparison, comparison_table, format_table, within_band
+
+__all__ = [
+    "COMPONENTS",
+    "ActivityTrace",
+    "Interval",
+    "render_ascii",
+    "trace_from_breakdowns",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "AreaModel",
+    "AreaRow",
+    "LinearFit",
+    "fit_latency_vs_hops",
+    "Comparison",
+    "comparison_table",
+    "format_table",
+    "within_band",
+]

@@ -1,0 +1,117 @@
+"""Die-area model — Tables II and III of the paper.
+
+The paper reports the area of the four network component types as
+percentages of the 451 mm^2 Anton 3 floorplan, and the incremental cost
+of the particle cache and network fence.  This model works from
+*per-instance* areas (derived from the published totals and component
+counts) so that configuration changes — more cache entries, more fence
+counters, different tile counts — re-price the tables, which is what the
+ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..config import ASIC_GENERATIONS, ChipConfig, DEFAULT_CHIP
+
+#: Published totals (Table II): component -> (count, % of total die area).
+PAPER_TABLE2 = {
+    "Core Routers": (288, 9.4),
+    "Edge Routers": (72, 1.4),
+    "Channel Adapters": (24, 2.8),
+    "Row Adapters": (72, 0.5),
+}
+
+#: Published feature costs (Table III): feature -> % of total die area.
+PAPER_TABLE3 = {
+    "Particle Cache": 1.6,
+    "Network Fence": 0.2,
+}
+
+DIE_AREA_MM2 = ASIC_GENERATIONS["anton3"].die_size_mm2
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    name: str
+    count: int
+    area_mm2: float
+    percent_of_die: float
+
+
+@dataclass
+class AreaModel:
+    """Parametric network-area model for one chip configuration.
+
+    Per-instance areas are calibrated once from the published Table II/III
+    percentages at the default configuration; scaling knobs then re-price
+    modified designs:
+
+    * Channel Adapter area splits into a fixed part and the particle-cache
+      SRAM (which scales with entries x per-entry state).
+    * Router areas include the fence counter arrays (which scale with the
+      number of fence counters per input port).
+    """
+
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+    pcache_entries: int = 1024
+    fence_counters_per_edge_input: int = 96
+    die_area_mm2: float = DIE_AREA_MM2
+
+    # Calibrated per-instance areas (mm^2) at the published design point.
+    core_router_mm2: float = DIE_AREA_MM2 * 0.094 / 288
+    edge_router_mm2: float = DIE_AREA_MM2 * 0.014 / 72
+    channel_adapter_mm2: float = DIE_AREA_MM2 * 0.028 / 24
+    row_adapter_mm2: float = DIE_AREA_MM2 * 0.005 / 72
+
+    # Feature carve-outs at the published design point.
+    pcache_total_mm2: float = DIE_AREA_MM2 * 0.016
+    fence_total_mm2: float = DIE_AREA_MM2 * 0.002
+
+    def _pcache_scale(self) -> float:
+        return self.pcache_entries / 1024
+
+    def _fence_scale(self) -> float:
+        return self.fence_counters_per_edge_input / 96
+
+    def component_rows(self) -> List[AreaRow]:
+        """Table II: network component contributions to die area."""
+        chip = self.chip
+        pcache_extra = self.pcache_total_mm2 * (self._pcache_scale() - 1.0)
+        fence_extra = self.fence_total_mm2 * (self._fence_scale() - 1.0)
+        entries = [
+            ("Core Routers", chip.num_core_routers,
+             self.core_router_mm2 * chip.num_core_routers),
+            ("Edge Routers", chip.num_edge_routers,
+             self.edge_router_mm2 * chip.num_edge_routers + fence_extra),
+            ("Channel Adapters", chip.num_channel_adapters,
+             self.channel_adapter_mm2 * chip.num_channel_adapters
+             + pcache_extra),
+            ("Row Adapters", chip.num_row_adapters,
+             self.row_adapter_mm2 * chip.num_row_adapters),
+        ]
+        return [AreaRow(name, count, area,
+                        100.0 * area / self.die_area_mm2)
+                for name, count, area in entries]
+
+    def feature_rows(self) -> List[AreaRow]:
+        """Table III: implementation cost of the two network features."""
+        pcache = self.pcache_total_mm2 * self._pcache_scale()
+        fence = self.fence_total_mm2 * self._fence_scale()
+        return [
+            AreaRow("Particle Cache", self.chip.num_channel_adapters,
+                    pcache, 100.0 * pcache / self.die_area_mm2),
+            AreaRow("Network Fence",
+                    self.chip.num_core_routers + self.chip.num_edge_routers,
+                    fence, 100.0 * fence / self.die_area_mm2),
+        ]
+
+    def network_total_percent(self) -> float:
+        """The paper's headline: network uses ~14.1% of the die."""
+        return sum(row.percent_of_die for row in self.component_rows())
+
+    def feature_total_percent(self) -> float:
+        """Table III total: ~1.8% for particle cache plus fence."""
+        return sum(row.percent_of_die for row in self.feature_rows())

@@ -1,0 +1,46 @@
+"""Linear latency fits (Figures 5 and 11 report their results this way)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``latency = fixed_ns + per_hop_ns * hops``."""
+
+    fixed_ns: float
+    per_hop_ns: float
+    r_squared: float
+
+    def predict(self, hops: float) -> float:
+        return self.fixed_ns + self.per_hop_ns * hops
+
+
+def fit_latency_vs_hops(points: Dict[int, float],
+                        exclude_zero_hop: bool = True) -> LinearFit:
+    """Least-squares fit of latency against hop count.
+
+    The paper excludes the 0-hop case from the Figure 5 fit because
+    intra-node packets skip the Edge Network and channels entirely;
+    ``exclude_zero_hop`` mirrors that.
+    """
+    items = sorted(points.items())
+    if exclude_zero_hop:
+        items = [(h, v) for h, v in items if h > 0]
+    if len(items) < 2:
+        raise ValueError("need at least two hop counts to fit")
+    hops = np.array([h for h, __ in items], dtype=np.float64)
+    lat = np.array([v for __, v in items], dtype=np.float64)
+    design = np.vstack([hops, np.ones_like(hops)]).T
+    (slope, intercept), residuals, __, __ = np.linalg.lstsq(
+        design, lat, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    ss_res = float(np.sum((lat - predicted) ** 2))
+    ss_tot = float(np.sum((lat - lat.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(fixed_ns=float(intercept), per_hop_ns=float(slope),
+                     r_squared=r2)

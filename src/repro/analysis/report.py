@@ -1,0 +1,61 @@
+"""Table/figure printers shared by the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures; these
+helpers format the rows the way the paper reports them, next to the
+published values so the comparison is visible in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Plain-text table with padded columns."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A measured value next to its published counterpart."""
+
+    name: str
+    measured: float
+    published: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.published == 0:
+            return float("inf")
+        return self.measured / self.published
+
+    def row(self) -> Tuple[str, str, str, str]:
+        return (self.name, f"{self.measured:.2f}",
+                f"{self.published:.2f}", f"{self.ratio:.2f}x")
+
+
+def comparison_table(comparisons: Sequence[Comparison],
+                     title: str = "") -> str:
+    table = format_table(
+        ("quantity", "measured", "paper", "ratio"),
+        [c.row() for c in comparisons])
+    return f"{title}\n{table}" if title else table
+
+
+def within_band(value: float, band: Tuple[float, float],
+                slack: float = 0.0) -> bool:
+    """Is ``value`` inside [lo*(1-slack), hi*(1+slack)]?"""
+    lo, hi = band
+    return lo * (1.0 - slack) <= value <= hi * (1.0 + slack)

@@ -1,0 +1,69 @@
+"""Application-specific compression: INZ and the particle cache (Sec. IV)."""
+
+from . import inz
+from .extrapolation import (
+    ORDER_CONSTANT,
+    ORDER_LINEAR,
+    ORDER_QUADRATIC,
+    CoordinatePredictor,
+    PositionPredictor,
+    saturate,
+    wrap_i32,
+)
+from .frames import (
+    KIND_COMPRESSED,
+    KIND_FENCE,
+    KIND_FULL,
+    KIND_MARKER,
+    ChannelAccounting,
+    FrameConfig,
+    FrameItem,
+    chunk_into_frames,
+    deserialize,
+    serialize,
+)
+from .inz import InzEncoded, decode, decode_signed, encode, encode_signed
+from .particle_cache import (
+    CacheStats,
+    CompressedPacket,
+    EndOfStepPacket,
+    FullPacket,
+    ParticleCacheChannel,
+    PositionPacket,
+    ReceiveSideCache,
+    SendSideCache,
+)
+
+__all__ = [
+    "inz",
+    "ORDER_CONSTANT",
+    "ORDER_LINEAR",
+    "ORDER_QUADRATIC",
+    "CoordinatePredictor",
+    "PositionPredictor",
+    "saturate",
+    "wrap_i32",
+    "KIND_COMPRESSED",
+    "KIND_FENCE",
+    "KIND_FULL",
+    "KIND_MARKER",
+    "ChannelAccounting",
+    "FrameConfig",
+    "FrameItem",
+    "chunk_into_frames",
+    "deserialize",
+    "serialize",
+    "InzEncoded",
+    "decode",
+    "decode_signed",
+    "encode",
+    "encode_signed",
+    "CacheStats",
+    "CompressedPacket",
+    "EndOfStepPacket",
+    "FullPacket",
+    "ParticleCacheChannel",
+    "PositionPacket",
+    "ReceiveSideCache",
+    "SendSideCache",
+]

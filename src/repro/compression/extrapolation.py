@@ -1,0 +1,148 @@
+"""Finite-difference position extrapolation — Section IV-B2 of the paper.
+
+The particle cache predicts each coordinate of a particle's next position
+with a quadratic extrapolator expressed in finite differences::
+
+    D0[t] = x[t]
+    D1[t] = x[t] - x[t-1]
+    D2[t] = x[t] - 2 x[t-1] + x[t-2]
+
+    estimate:  x_hat[t] = D0[t-1] + D1[t-1] + D2[t-1]
+                       (= 3 x[t-1] - 3 x[t-2] + x[t-3])
+
+and the state updates after observing the true ``x[t]``::
+
+    D0[t] = x[t]
+    D1[t] = x[t] - D0[t-1]
+    D2[t] = x[t] - D0[t-1] - D1[t-1]
+
+On allocation D1 and D2 are zero, so the estimator automatically ramps from
+a constant predictor to linear and then quadratic as history accumulates —
+no special-case handling, exactly as the paper notes.
+
+The hardware stores D1 and D2 in 12 bits per coordinate.  We reproduce that
+by saturating the stored differences to the signed 12-bit range; since the
+send- and receive-side caches run this identical deterministic update on
+the identical reconstructed positions, saturation never desynchronizes
+them (and positions remain lossless — only prediction quality degrades).
+
+Coordinates are 32-bit fixed-point integers and all arithmetic wraps
+modulo 2^32 like the hardware datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+_WORD = 1 << 32
+_HALF = 1 << 31
+
+#: Predictor orders for the ablation study.
+ORDER_CONSTANT = 0
+ORDER_LINEAR = 1
+ORDER_QUADRATIC = 2
+
+
+def wrap_i32(value: int) -> int:
+    """Wrap an integer into signed 32-bit two's-complement range."""
+    value = (value + _HALF) % _WORD - _HALF
+    return value
+
+
+def saturate(value: int, bits: int) -> int:
+    """Clamp ``value`` to the signed ``bits``-bit range."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+@dataclass
+class CoordinatePredictor:
+    """Finite-difference predictor state for one coordinate.
+
+    Attributes:
+        d0: Last observed coordinate (32-bit fixed point).
+        d1: First difference, stored saturated to ``delta_bits``.
+        d2: Second difference, stored saturated to ``delta_bits``.
+        delta_bits: Storage width for d1/d2 (12 in the Anton 3 hardware).
+        order: Highest difference used when predicting (2 = quadratic).
+    """
+
+    d0: int
+    d1: int = 0
+    d2: int = 0
+    delta_bits: int = 12
+    order: int = ORDER_QUADRATIC
+
+    def __post_init__(self) -> None:
+        if self.order not in (ORDER_CONSTANT, ORDER_LINEAR, ORDER_QUADRATIC):
+            raise ValueError(f"unsupported predictor order {self.order}")
+        self.d0 = wrap_i32(self.d0)
+        self.d1 = saturate(wrap_i32(self.d1), self.delta_bits)
+        self.d2 = saturate(wrap_i32(self.d2), self.delta_bits)
+
+    def predict(self) -> int:
+        """Estimate the next coordinate from the stored differences."""
+        estimate = self.d0
+        if self.order >= ORDER_LINEAR:
+            estimate += self.d1
+        if self.order >= ORDER_QUADRATIC:
+            estimate += self.d2
+        return wrap_i32(estimate)
+
+    def update(self, actual: int) -> None:
+        """Advance the difference state after observing ``actual``.
+
+        Both cache sides call this with the *same* reconstructed value, so
+        their states remain bit-identical.
+        """
+        actual = wrap_i32(actual)
+        prev_d0, prev_d1 = self.d0, self.d1
+        self.d0 = actual
+        self.d1 = saturate(wrap_i32(actual - prev_d0), self.delta_bits)
+        self.d2 = saturate(wrap_i32(actual - prev_d0 - prev_d1),
+                           self.delta_bits)
+
+    def residual(self, actual: int) -> int:
+        """Signed difference between the actual value and the prediction."""
+        return wrap_i32(wrap_i32(actual) - self.predict())
+
+    def state(self) -> Tuple[int, int, int]:
+        return (self.d0, self.d1, self.d2)
+
+
+@dataclass
+class PositionPredictor:
+    """Independent per-axis predictors for an (x, y, z) position."""
+
+    x: CoordinatePredictor
+    y: CoordinatePredictor
+    z: CoordinatePredictor
+
+    @classmethod
+    def fresh(cls, position: Tuple[int, int, int], delta_bits: int = 12,
+              order: int = ORDER_QUADRATIC) -> "PositionPredictor":
+        """Newly allocated entry: D0 = position, D1 = D2 = 0."""
+        return cls(*(CoordinatePredictor(c, delta_bits=delta_bits, order=order)
+                     for c in position))
+
+    def predict(self) -> Tuple[int, int, int]:
+        return (self.x.predict(), self.y.predict(), self.z.predict())
+
+    def residual(self, position: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        return (self.x.residual(position[0]),
+                self.y.residual(position[1]),
+                self.z.residual(position[2]))
+
+    def update(self, position: Tuple[int, int, int]) -> None:
+        self.x.update(position[0])
+        self.y.update(position[1])
+        self.z.update(position[2])
+
+    def state(self) -> Tuple[Tuple[int, int, int], ...]:
+        return (self.x.state(), self.y.state(), self.z.state())

@@ -1,0 +1,159 @@
+"""Channel-frame packing — Section IV-A of the paper.
+
+Compressed payloads and their headers are "densely packed (at byte
+granularity) into each fixed-length channel frame" before crossing the
+off-chip interface.  This module models that layer: a stream of channel
+items (packet headers plus INZ-shortened payloads) is serialized with
+1-byte descriptors, the byte stream is chunked into fixed-length frames,
+and the receive side recovers the exact item stream.
+
+The descriptor encodes the item kind (2 bits) and the valid payload byte
+count (0-16, 5 bits), mirroring the "number of valid bytes" field the
+paper describes.  Packing is at byte granularity and items may straddle a
+frame boundary, so channel utilization equals payload+descriptor bytes
+over frame capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: Item kinds carried over a channel.
+KIND_FULL = 0          # uncompressed position/force packet (64-bit header)
+KIND_COMPRESSED = 1    # particle-cache hit (cache index header)
+KIND_MARKER = 2        # end-of-step marker
+KIND_FENCE = 3         # fence packet
+
+_KIND_BITS = 2
+_COUNT_BITS = 5
+_MAX_COUNT = (1 << _COUNT_BITS) - 1
+
+#: Header bytes by kind: full packets carry the 64-bit flit header; a
+#: compressed packet replaces it with a 3-byte header (opcode + 10-bit
+#: cache index + sequence tag); markers and fences are header-only.
+HEADER_BYTES = {
+    KIND_FULL: 8,
+    KIND_COMPRESSED: 3,
+    KIND_MARKER: 1,
+    KIND_FENCE: 3,
+}
+
+
+@dataclass(frozen=True)
+class FrameItem:
+    """One unit packed into channel frames."""
+
+    kind: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.kind not in HEADER_BYTES:
+            raise ValueError(f"unknown frame item kind {self.kind}")
+        if len(self.payload) > _MAX_COUNT:
+            raise ValueError("payload exceeds descriptor count range")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this item occupies on the wire (descriptor + hdr + data)."""
+        return 1 + HEADER_BYTES[self.kind] + len(self.payload)
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Fixed-length channel frame geometry."""
+
+    frame_bytes: int = 240
+
+    def __post_init__(self) -> None:
+        if self.frame_bytes < 32:
+            raise ValueError("frames must hold at least 32 bytes")
+
+
+def serialize(items: Sequence[FrameItem],
+              headers: Sequence[bytes]) -> bytes:
+    """Serialize items and their header bytes into one channel byte stream.
+
+    ``headers[i]`` must be exactly ``HEADER_BYTES[items[i].kind]`` long.
+    """
+    if len(items) != len(headers):
+        raise ValueError("items and headers must align")
+    out = bytearray()
+    for item, header in zip(items, headers):
+        expected = HEADER_BYTES[item.kind]
+        if len(header) != expected:
+            raise ValueError(
+                f"kind {item.kind} needs {expected} header bytes, "
+                f"got {len(header)}")
+        descriptor = (item.kind << _COUNT_BITS) | len(item.payload)
+        out.append(descriptor)
+        out += header
+        out += item.payload
+    return bytes(out)
+
+
+def deserialize(stream: bytes) -> List[Tuple[FrameItem, bytes]]:
+    """Inverse of :func:`serialize`; returns (item, header) pairs."""
+    out: List[Tuple[FrameItem, bytes]] = []
+    offset = 0
+    size = len(stream)
+    while offset < size:
+        descriptor = stream[offset]
+        offset += 1
+        kind = descriptor >> _COUNT_BITS
+        count = descriptor & _MAX_COUNT
+        header_len = HEADER_BYTES.get(kind)
+        if header_len is None:
+            raise ValueError(f"corrupt stream: kind {kind}")
+        if offset + header_len + count > size:
+            raise ValueError("corrupt stream: truncated item")
+        header = stream[offset:offset + header_len]
+        offset += header_len
+        payload = stream[offset:offset + count]
+        offset += count
+        out.append((FrameItem(kind, payload), header))
+    return out
+
+
+def chunk_into_frames(stream: bytes, config: FrameConfig) -> List[bytes]:
+    """Split a byte stream into fixed-length frames (last one padded)."""
+    frames = []
+    for start in range(0, len(stream), config.frame_bytes):
+        frame = stream[start:start + config.frame_bytes]
+        if len(frame) < config.frame_bytes:
+            frame = frame + b"\x00" * (config.frame_bytes - len(frame))
+        frames.append(frame)
+    return frames
+
+
+@dataclass
+class ChannelAccounting:
+    """Running bit/frame accounting for one channel direction."""
+
+    config: FrameConfig = FrameConfig()
+    payload_bytes: int = 0
+    items: int = 0
+
+    def add(self, item: FrameItem) -> None:
+        self.payload_bytes += item.wire_bytes
+        self.items += 1
+
+    def add_items(self, items: Iterable[FrameItem]) -> None:
+        for item in items:
+            self.add(item)
+
+    @property
+    def bits(self) -> int:
+        return 8 * self.payload_bytes
+
+    @property
+    def frames(self) -> int:
+        full, rem = divmod(self.payload_bytes, self.config.frame_bytes)
+        return full + (1 if rem else 0)
+
+    @property
+    def utilization(self) -> float:
+        """Useful bytes over frame capacity actually sent."""
+        if self.frames == 0:
+            return 0.0
+        return self.payload_bytes / (self.frames * self.config.frame_bytes)

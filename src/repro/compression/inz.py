@@ -1,0 +1,238 @@
+"""Interleaved non-zero (INZ) encoding — Section IV-A of the paper.
+
+Flit payloads on Anton 3 carry up to four signed 32-bit words.  INZ shrinks
+payloads whose words have small absolute values:
+
+1. Find the most significant non-zero word ``m`` (0-3).  An all-zero
+   payload encodes to zero bytes.
+2. Each non-zero word is transformed by ``invert_word`` (the paper's
+   SystemVerilog function): the sign bit moves to the LSB and the other 31
+   bits are conditionally inverted.  Small negative values therefore become
+   small unsigned patterns (a zigzag-style map).
+3. Words ``0..m`` are interleaved bitwise so that the high-order bits of
+   all words land together at the top of the vector, maximizing the run of
+   leading zero bytes.
+4. The 2-bit word count ``m`` is concatenated at the least significant end
+   (so it never disturbs the leading zeros), and leading zero bytes are
+   dropped.
+5. If the result would not fit in the 16-byte payload, the encoding is
+   abandoned and the original bytes are sent with a valid-byte count of 16.
+
+Encoding and decoding are exact inverses; see ``tests/test_inz.py`` for the
+property-based round-trip checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFF_FFFF
+MAX_WORDS = 4
+PAYLOAD_BYTES = 16
+_SIGN_BIT = 1 << 31
+_LOW31 = 0x7FFF_FFFF
+
+
+def to_u32(word: int) -> int:
+    """Interpret a Python int as an unsigned 32-bit word (two's complement)."""
+    return word & WORD_MASK
+
+
+def to_i32(word: int) -> int:
+    """Interpret an unsigned 32-bit word as a signed value."""
+    word &= WORD_MASK
+    return word - (1 << 32) if word & _SIGN_BIT else word
+
+
+def invert_word(word: int) -> int:
+    """The paper's ``invert_word``: sign to LSB, conditional inversion.
+
+    ``return {{31{w[31]}} ^ w[30:0], w[31]}`` in SystemVerilog.
+    """
+    word = to_u32(word)
+    sign = word >> 31
+    low = word & _LOW31
+    if sign:
+        low ^= _LOW31
+    return (low << 1) | sign
+
+
+def uninvert_word(encoded: int) -> int:
+    """Inverse of :func:`invert_word`."""
+    encoded = to_u32(encoded)
+    sign = encoded & 1
+    low = encoded >> 1
+    if sign:
+        low ^= _LOW31
+    return (sign << 31) | low
+
+
+def interleave(words: Sequence[int]) -> int:
+    """Bitwise-interleave ``words`` (low word in the low lane).
+
+    Bit ``j`` of word ``i`` lands at position ``j * len(words) + i`` of the
+    result, so bit 31 of every word sits in the top ``len(words)`` bits.
+    """
+    lanes = len(words)
+    result = 0
+    for i, word in enumerate(words):
+        word = to_u32(word)
+        for j in range(WORD_BITS):
+            if word >> j & 1:
+                result |= 1 << (j * lanes + i)
+    return result
+
+
+def deinterleave(vector: int, lanes: int) -> List[int]:
+    """Inverse of :func:`interleave` for ``lanes`` words."""
+    words = [0] * lanes
+    for j in range(WORD_BITS):
+        for i in range(lanes):
+            if vector >> (j * lanes + i) & 1:
+                words[i] |= 1 << j
+    return words
+
+
+@dataclass(frozen=True)
+class InzEncoded:
+    """Result of INZ-encoding one quad-word payload.
+
+    Attributes:
+        data: The transmitted bytes (little-endian vector, leading zero
+            bytes already removed).  Raw payload bytes when abandoned.
+        num_bytes: Valid byte count placed in the channel-frame descriptor.
+            0 for an all-zero payload, 16 when the encoding was abandoned.
+        abandoned: True when the original payload was sent instead.
+    """
+
+    data: bytes
+    num_bytes: int
+    abandoned: bool
+
+    @property
+    def payload_bits(self) -> int:
+        """Bits of payload that cross the channel (excludes descriptors)."""
+        return 8 * self.num_bytes
+
+
+def _raw_bytes(words: Sequence[int]) -> bytes:
+    out = bytearray()
+    for word in words:
+        out += to_u32(word).to_bytes(4, "little")
+    return bytes(out)
+
+
+def encode(words: Sequence[int]) -> InzEncoded:
+    """INZ-encode up to four signed 32-bit words.
+
+    Shorter payloads are treated as zero-padded quads; the decoder always
+    returns four words.
+    """
+    if len(words) > MAX_WORDS:
+        raise ValueError(f"INZ payloads hold at most {MAX_WORDS} words")
+    quad = [to_u32(w) for w in words] + [0] * (MAX_WORDS - len(words))
+
+    top = -1
+    for i, word in enumerate(quad):
+        if word:
+            top = i
+    if top < 0:
+        return InzEncoded(data=b"", num_bytes=0, abandoned=False)
+
+    lanes = top + 1
+    transformed = [invert_word(w) if w else 0 for w in quad[:lanes]]
+    vector = (interleave(transformed) << 2) | top
+    num_bytes = (vector.bit_length() + 7) // 8
+    if num_bytes >= PAYLOAD_BYTES:
+        return InzEncoded(data=_raw_bytes(quad), num_bytes=PAYLOAD_BYTES,
+                          abandoned=True)
+    return InzEncoded(data=vector.to_bytes(num_bytes, "little"),
+                      num_bytes=num_bytes, abandoned=False)
+
+
+def decode(encoded: InzEncoded) -> List[int]:
+    """Decode an :class:`InzEncoded` payload back to four unsigned words."""
+    return decode_bytes(encoded.data, encoded.num_bytes)
+
+
+def decode_bytes(data: bytes, num_bytes: int) -> List[int]:
+    """Decode raw INZ channel bytes given the descriptor's byte count."""
+    if num_bytes == 0:
+        return [0] * MAX_WORDS
+    if len(data) != num_bytes:
+        raise ValueError(
+            f"descriptor says {num_bytes} bytes but got {len(data)}")
+    if num_bytes == PAYLOAD_BYTES:
+        return [int.from_bytes(data[i:i + 4], "little")
+                for i in range(0, PAYLOAD_BYTES, 4)]
+    vector = int.from_bytes(data, "little")
+    top = vector & 3
+    lanes = top + 1
+    transformed = deinterleave(vector >> 2, lanes)
+    words = [uninvert_word(w) if w else 0 for w in transformed]
+    return words + [0] * (MAX_WORDS - lanes)
+
+
+def encode_signed(values: Sequence[int]) -> InzEncoded:
+    """Convenience wrapper for signed inputs (e.g. position deltas)."""
+    return encode([to_u32(v) for v in values])
+
+
+def decode_signed(encoded: InzEncoded) -> List[int]:
+    """Decode to signed 32-bit values."""
+    return [to_i32(w) for w in decode(encoded)]
+
+
+def encoded_payload_bits(words: Sequence[int]) -> int:
+    """Payload bits INZ sends for ``words`` (the Fig. 9a accounting unit)."""
+    return encode(words).payload_bits
+
+
+def encoded_sizes(words: "np.ndarray") -> "np.ndarray":
+    """Vectorized INZ byte counts for an (N, 4) array of word payloads.
+
+    Returns the per-payload valid-byte counts :func:`encode` would report,
+    without materializing the encoded bytes — the fast path used by the
+    full-system traffic model.  ``tests/test_inz.py`` cross-checks it
+    against the reference encoder.
+    """
+    import numpy as np
+
+    quads = np.asarray(words, dtype=np.int64)
+    if quads.ndim != 2 or quads.shape[1] != MAX_WORDS:
+        raise ValueError("encoded_sizes expects an (N, 4) array")
+    unsigned = quads & WORD_MASK
+
+    # invert_word, vectorized.
+    sign = unsigned >> 31
+    low = unsigned & _LOW31
+    low = np.where(sign == 1, low ^ _LOW31, low)
+    transformed = (low << 1) | sign
+
+    nonzero = unsigned != 0
+    any_nonzero = nonzero.any(axis=1)
+    # Index of the most significant non-zero word (0..3).
+    top = np.where(any_nonzero,
+                   MAX_WORDS - 1 - np.argmax(nonzero[:, ::-1], axis=1), 0)
+    lanes = top + 1
+
+    # Bit length of each transformed word (values < 2^32, exact in f64).
+    bitlen = np.zeros_like(transformed)
+    positive = transformed > 0
+    bitlen[positive] = np.floor(
+        np.log2(transformed[positive].astype(np.float64))).astype(np.int64) + 1
+
+    # Highest set bit position in the interleaved vector:
+    # bit (bitlen-1) of lane i lands at (bitlen-1)*lanes + i.
+    lane_index = np.arange(MAX_WORDS)[None, :]
+    positions = np.where(
+        (bitlen > 0) & (lane_index <= top[:, None]),
+        (bitlen - 1) * lanes[:, None] + lane_index, -1)
+    max_pos = positions.max(axis=1)
+
+    total_bits = max_pos + 1 + 2  # plus the 2-bit word count at the LSB
+    sizes = (total_bits + 7) // 8
+    sizes = np.where(any_nonzero, sizes, 0)
+    return np.where(sizes >= PAYLOAD_BYTES, PAYLOAD_BYTES, sizes)

@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel (substrate)."""
+
+from .events import Event, EventQueue
+from .simulator import SimulationError, Simulator
+from .stats import Counter, Histogram, StatsRegistry, Summary, TimeSeries
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationError",
+    "Simulator",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "Summary",
+    "TimeSeries",
+]

@@ -1,0 +1,83 @@
+"""Event heap for the discrete-event simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The monotonically
+increasing sequence number guarantees deterministic FIFO ordering among
+events scheduled for the same time and priority, which keeps every
+simulation in this package fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulation time (ns in this package) at which to fire.
+        priority: Lower fires first among same-time events.
+        seq: Tie-breaker preserving scheduling order.
+        action: Zero-argument callable run when the event fires.
+        cancelled: Cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: Any = field(default=None, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        tag: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time``; returns a cancel handle."""
+        event = Event(time=time, priority=priority, seq=next(self._counter),
+                      action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or None if the queue drains."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,126 @@
+"""Discrete-event simulator kernel.
+
+All network simulations in this package run on :class:`Simulator`.  Time is
+measured in nanoseconds (float); components that think in clock cycles
+convert via their chip configuration.  The kernel is deliberately small:
+an event heap, a current time, and a run loop with step/time limits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.at(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Time and scheduling.
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def at(self, time: float, action: Callable[[], None],
+           priority: int = 0, tag: Any = None) -> Event:
+        """Schedule ``action`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; now is {self._now} ns")
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    def after(self, delay: float, action: Callable[[], None],
+              priority: int = 0, tag: Any = None) -> Event:
+        """Schedule ``action`` ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, action,
+                                priority=priority, tag=tag)
+
+    # ------------------------------------------------------------------
+    # Run loop.
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or event budget.
+
+        Returns the simulation time when the loop stopped.
+        """
+        self._running = True
+        self._stop_requested = False
+        processed = 0
+        try:
+            while not self._stop_requested:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> float:
+        """Run to completion with a safety budget against livelock."""
+        end = self.run(max_events=max_events)
+        if self._queue.peek_time() is not None:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events")
+        return end
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

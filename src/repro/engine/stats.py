@@ -1,0 +1,191 @@
+"""Statistics primitives shared by the simulators.
+
+These are intentionally simple, dependency-free accumulators: counters,
+a scalar summary (mean/min/max), a fixed-bin histogram, and a time series
+recorder used for the machine-activity plots (Figure 12 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add requires a non-negative amount")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Summary:
+    """Streaming scalar summary: count, mean, min, max, variance."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Summary") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max = other.min, other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)  # type: ignore[arg-type]
+        self.max = max(self.max, other.max)  # type: ignore[arg-type]
+
+
+class Histogram:
+    """Fixed-width binned histogram over [lo, hi)."""
+
+    def __init__(self, lo: float, hi: float, bins: int, name: str = "") -> None:
+        if hi <= lo:
+            raise ValueError("Histogram requires hi > lo")
+        if bins <= 0:
+            raise ValueError("Histogram requires at least one bin")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def bin_width(self) -> float:
+        return (self.hi - self.lo) / self.bins
+
+    def observe(self, value: float) -> None:
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            index = int((value - self.lo) / self.bin_width)
+            self.counts[min(index, self.bins - 1)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_edges(self) -> List[float]:
+        return [self.lo + i * self.bin_width for i in range(self.bins + 1)]
+
+
+@dataclass
+class Sample:
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """Append-only (time, value) series with window aggregation."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[Sample] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1].time:
+            raise ValueError("TimeSeries requires non-decreasing time")
+        self.samples.append(Sample(time, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def window_mean(self, start: float, end: float) -> float:
+        values = [s.value for s in self.samples if start <= s.time < end]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def rebin(self, start: float, end: float, bins: int) -> List[float]:
+        """Average value per uniform time bin (empty bins are 0)."""
+        if bins <= 0:
+            raise ValueError("rebin requires bins >= 1")
+        width = (end - start) / bins
+        out = []
+        for i in range(bins):
+            out.append(self.window_mean(start + i * width,
+                                        start + (i + 1) * width))
+        return out
+
+
+class StatsRegistry:
+    """A flat namespace of named statistics objects."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._summaries: Dict[str, Summary] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def summary(self, name: str) -> Summary:
+        if name not in self._summaries:
+            self._summaries[name] = Summary(name)
+        return self._summaries[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counter_values(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        self._summaries.clear()
+        self._series.clear()

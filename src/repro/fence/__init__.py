@@ -1,0 +1,23 @@
+"""The network fence: in-network merged synchronization (Section V)."""
+
+from .engine import FenceEngine, FencePattern, FenceTiming
+from .merge import (
+    FenceConfigError,
+    FenceEdge,
+    FenceMergeUnit,
+    FenceRouterModel,
+    configure_fence_network,
+    run_fence_flood,
+)
+
+__all__ = [
+    "FenceEngine",
+    "FencePattern",
+    "FenceTiming",
+    "FenceConfigError",
+    "FenceEdge",
+    "FenceMergeUnit",
+    "FenceRouterModel",
+    "configure_fence_network",
+    "run_fence_flood",
+]

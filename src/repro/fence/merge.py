@@ -1,0 +1,179 @@
+"""Router-level fence merging and multicast — Section V-B / Figure 10.
+
+Each router input port owns a fence counter and a preconfigured *expected
+count* plus a *fence output mask*.  Arriving fence packets increment the
+counter instead of being forwarded; when the counter reaches the expected
+value, a single fence packet is multicast to every output in the mask and
+the counter resets.  Because the router keeps forwarding non-fence packets
+while waiting, the network fence is a one-way barrier.
+
+:class:`FenceMergeUnit` models one input port's counter;
+:class:`FenceRouterModel` models a router's set of input units, and
+:func:`configure_fence_network` computes expected counts and output masks
+for an arbitrary multicast DAG the way Anton 3's software preconfigures
+them per fence pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+
+class FenceConfigError(ValueError):
+    """Raised for inconsistent fence network configurations."""
+
+
+@dataclass
+class FenceMergeUnit:
+    """One input port's fence counter (Figure 10a).
+
+    Attributes:
+        expected: Count at which the merged fence fires.
+        output_mask: Output ports the merged fence is multicast to.
+    """
+
+    expected: int
+    output_mask: FrozenSet[str]
+    count: int = 0
+    fires: int = 0
+
+    def __post_init__(self) -> None:
+        if self.expected < 1:
+            raise FenceConfigError("expected count must be >= 1")
+
+    def arrive(self) -> Tuple[bool, FrozenSet[str]]:
+        """Register one fence arrival.
+
+        Returns ``(fired, outputs)``; when fired, the counter has reset
+        and one fence must be sent to each port in ``outputs``.
+        """
+        self.count += 1
+        if self.count > self.expected:
+            raise FenceConfigError(
+                f"fence counter overflow: {self.count} > {self.expected}")
+        if self.count == self.expected:
+            self.count = 0
+            self.fires += 1
+            return True, self.output_mask
+        return False, frozenset()
+
+
+class FenceRouterModel:
+    """A router's per-input fence units, as configured for one pattern."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: Dict[str, FenceMergeUnit] = {}
+
+    def configure_input(self, in_port: str, expected: int,
+                        output_mask: Iterable[str]) -> None:
+        self.inputs[in_port] = FenceMergeUnit(expected,
+                                              frozenset(output_mask))
+
+    def fence_arrival(self, in_port: str) -> FrozenSet[str]:
+        """Process a fence on ``in_port``; returns ports to multicast to."""
+        unit = self.inputs.get(in_port)
+        if unit is None:
+            raise FenceConfigError(
+                f"{self.name}: no fence unit on input {in_port!r}")
+        fired, outputs = unit.arrive()
+        return outputs if fired else frozenset()
+
+
+@dataclass(frozen=True)
+class FenceEdge:
+    """A directed link of the fence multicast DAG."""
+
+    src: str        # router (or source component) name
+    dst: str        # downstream router name
+    dst_port: str   # input port at the destination
+
+
+def configure_fence_network(
+        sources: Mapping[str, Sequence[FenceEdge]],
+        router_edges: Mapping[Tuple[str, str], Sequence[FenceEdge]],
+) -> Dict[str, FenceRouterModel]:
+    """Build per-router fence configuration for a multicast DAG.
+
+    Args:
+        sources: For each source component, the links its fence packet is
+            injected on.
+        router_edges: For each ``(router, input port)``, the downstream
+            links a merged fence from that input must be multicast to.
+            An empty sequence marks a delivery point (fence consumed).
+
+    Returns:
+        Router name -> configured :class:`FenceRouterModel`.  The expected
+        count of each input port equals the number of upstream links that
+        feed it (one merged fence arrives per upstream link, exactly as in
+        Figure 10b).
+    """
+    inbound: Dict[Tuple[str, str], int] = {}
+    for edges in sources.values():
+        for edge in edges:
+            inbound[(edge.dst, edge.dst_port)] = inbound.get(
+                (edge.dst, edge.dst_port), 0) + 1
+    for edges in router_edges.values():
+        for edge in edges:
+            inbound[(edge.dst, edge.dst_port)] = inbound.get(
+                (edge.dst, edge.dst_port), 0) + 1
+
+    routers: Dict[str, FenceRouterModel] = {}
+    for (router_name, in_port), edges in router_edges.items():
+        if (router_name, in_port) not in inbound:
+            raise FenceConfigError(
+                f"{router_name}[{in_port}] configured but unreachable")
+        router = routers.setdefault(router_name,
+                                    FenceRouterModel(router_name))
+        mask = {_port_key(edge) for edge in edges}
+        router.configure_input(
+            in_port, expected=inbound[(router_name, in_port)],
+            output_mask=mask)
+    return routers
+
+
+def _port_key(edge: FenceEdge) -> str:
+    """Stable identifier for a downstream link in an output mask."""
+    return f"{edge.dst}:{edge.dst_port}"
+
+
+def run_fence_flood(sources: Mapping[str, Sequence[FenceEdge]],
+                    router_edges: Mapping[Tuple[str, str], Sequence[FenceEdge]],
+                    ) -> Dict[str, int]:
+    """Simulate one complete fence over the DAG; returns deliveries.
+
+    Every source fires exactly one fence packet down each of its links;
+    routers merge and multicast per their configuration.  The return value
+    maps each delivery point ``"router:port"`` to the number of fences it
+    consumed (correct configurations deliver exactly one everywhere).
+    """
+    routers = configure_fence_network(sources, router_edges)
+    deliveries: Dict[str, int] = {}
+    frontier: List[FenceEdge] = []
+    for edges in sources.values():
+        frontier.extend(edges)
+    guard = 0
+    while frontier:
+        guard += 1
+        if guard > 1_000_000:
+            raise FenceConfigError("fence flood did not terminate")
+        edge = frontier.pop()
+        key = (edge.dst, edge.dst_port)
+        downstream = router_edges.get(key)
+        if downstream is None:
+            # Unconfigured endpoint: raw consumption (component sink).
+            name = f"{edge.dst}:{edge.dst_port}"
+            deliveries[name] = deliveries.get(name, 0) + 1
+            continue
+        unit = routers[edge.dst].inputs[edge.dst_port]
+        fired, __ = unit.arrive()
+        if not fired:
+            continue
+        if downstream:
+            frontier.extend(downstream)
+        else:
+            # Configured delivery point: merged fence consumed here.
+            name = f"{edge.dst}:{edge.dst_port}"
+            deliveries[name] = deliveries.get(name, 0) + 1
+    return deliveries

@@ -1,0 +1,32 @@
+"""Full-system transaction-level simulator (Figures 9 and 12)."""
+
+from .speedup import ConfigOutcome, FullSystemResult, evaluate_system, water_benchmark
+from .timestep import TimestepBreakdown, TimestepModel, TimestepParams
+from .traffic import (
+    BASELINE,
+    FULL,
+    INZ_ONLY,
+    CompressionConfig,
+    StepTraffic,
+    TrafficComparison,
+    TrafficModel,
+    compare_configurations,
+)
+
+__all__ = [
+    "ConfigOutcome",
+    "FullSystemResult",
+    "evaluate_system",
+    "water_benchmark",
+    "TimestepBreakdown",
+    "TimestepModel",
+    "TimestepParams",
+    "BASELINE",
+    "FULL",
+    "INZ_ONLY",
+    "CompressionConfig",
+    "StepTraffic",
+    "TrafficComparison",
+    "TrafficModel",
+    "compare_configurations",
+]

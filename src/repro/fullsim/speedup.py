@@ -1,0 +1,111 @@
+"""Application-level speedup from compression — the Fig. 9b engine.
+
+Speedup is the ratio of compression-off to compression-on time-step
+durations, evaluated by running the *same* MD snapshot stream through the
+traffic model under both configurations and pricing each step with the
+time-step phase model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..md.decomposition import Decomposition
+from ..md.engine import MdEngine, Snapshot
+from .timestep import TimestepBreakdown, TimestepModel, TimestepParams
+from .traffic import (
+    BASELINE,
+    FULL,
+    INZ_ONLY,
+    CompressionConfig,
+    StepTraffic,
+    TrafficModel,
+)
+
+
+@dataclass
+class ConfigOutcome:
+    """Per-configuration result of the full-system evaluation."""
+
+    label: str
+    total_bits: int
+    mean_step_ns: float
+    breakdowns: List[TimestepBreakdown]
+
+
+@dataclass
+class FullSystemResult:
+    """Everything the Fig. 9 and Fig. 12 benchmarks need for one system."""
+
+    atom_count: int
+    num_nodes: int
+    outcomes: Dict[str, ConfigOutcome]
+
+    def speedup(self, over: str = "baseline", config: str = "inz+pcache") -> float:
+        return (self.outcomes[over].mean_step_ns
+                / self.outcomes[config].mean_step_ns)
+
+    def traffic_reduction(self, config: str) -> float:
+        base = self.outcomes["baseline"].total_bits
+        if base == 0:
+            return 0.0
+        return 1.0 - self.outcomes[config].total_bits / base
+
+
+def evaluate_system(
+        snapshots: Sequence[Snapshot], decomposition: Decomposition,
+        cutoff: float,
+        configs: Sequence[CompressionConfig] = (BASELINE, INZ_ONLY, FULL),
+        timestep_params: Optional[TimestepParams] = None,
+        pcache_warmup_steps: int = 3, **pcache_kwargs) -> FullSystemResult:
+    """Price a snapshot stream under several configurations.
+
+    The first ``pcache_warmup_steps`` steps prime the particle caches and
+    are excluded from the reported means (steady-state measurement).
+    """
+    model = TimestepModel(timestep_params)
+    num_nodes = decomposition.num_nodes
+    outcomes: Dict[str, ConfigOutcome] = {}
+    for config in configs:
+        traffic_model = TrafficModel(decomposition, config, cutoff,
+                                     **pcache_kwargs)
+        total_bits = 0
+        breakdowns: List[TimestepBreakdown] = []
+        for i, snapshot in enumerate(snapshots):
+            traffic = traffic_model.process_step(snapshot)
+            if i < pcache_warmup_steps:
+                continue
+            total_bits += traffic.total_bits
+            breakdowns.append(model.evaluate(
+                traffic, num_pairs=snapshot.record.num_pairs,
+                num_atoms=snapshot.positions_fp.shape[0],
+                num_nodes=num_nodes))
+        mean_ns = (sum(b.total_ns for b in breakdowns) / len(breakdowns)
+                   if breakdowns else 0.0)
+        outcomes[config.label] = ConfigOutcome(
+            label=config.label, total_bits=total_bits,
+            mean_step_ns=mean_ns, breakdowns=breakdowns)
+    return FullSystemResult(
+        atom_count=snapshots[0].positions_fp.shape[0] if snapshots else 0,
+        num_nodes=num_nodes, outcomes=outcomes)
+
+
+def water_benchmark(n_atoms: int, node_dims=(2, 2, 2), steps: int = 7,
+                    seed: int = 1,
+                    configs: Sequence[CompressionConfig] = (BASELINE,
+                                                            INZ_ONLY, FULL),
+                    pcache_warmup_steps: int = 3,
+                    **kwargs) -> FullSystemResult:
+    """End-to-end: build a water box, run MD, price the traffic.
+
+    This is the top-level entry point the Fig. 9a/9b/12 benchmarks call.
+    """
+    engine = MdEngine.water(n_atoms, seed=seed)
+    snapshots = engine.run(steps)
+    decomposition = Decomposition(box=engine.system.box,
+                                  node_dims=node_dims)
+    return evaluate_system(snapshots, decomposition, engine.field.cutoff,
+                           configs=configs,
+                           pcache_warmup_steps=pcache_warmup_steps,
+                           **kwargs)

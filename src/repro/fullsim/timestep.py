@@ -1,0 +1,136 @@
+"""Time-step phase model — the Figure 12 engine.
+
+One MD time step on Anton 3 (Section II-C) interleaves:
+
+1. position export over the channels (overlapped with PPIM streaming),
+2. range-limited pair computation in the PPIMs,
+3. force return over the channels,
+4. per-atom force summation and integration on the GCs,
+5. fence/counted-write synchronization between phases.
+
+The machine-activity plots in the paper show the channels saturated while
+the PPIMs idle when compression is off; the step duration is then set by
+channel serialization.  This model computes each phase's duration from
+first principles (bits over 464 Gb/s per neighbor channel, pairs over
+PPIM throughput, atoms over GC integration throughput) and combines them
+with the overlap structure above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import ChipConfig, DEFAULT_CHIP
+from .traffic import StepTraffic
+
+
+@dataclass(frozen=True)
+class TimestepParams:
+    """Throughput and overhead constants of the phase model."""
+
+    chip: ChipConfig = field(default_factory=lambda: DEFAULT_CHIP)
+    # Effective sustained pair rate per PPIM (pipeline issue limits and
+    # stored-set/stream-set scheduling keep this below one per cycle).
+    pairs_per_ppim_per_cycle: float = 0.25
+    integration_cycles_per_atom: float = 30.0
+    # Streaming pipeline fill: ICB -> PPIM row -> force return path.
+    pipeline_fill_ns: float = 40.0
+    # Two network fences bound the step (positions complete; forces
+    # complete), plus counted-write/blocking-read handoffs.
+    sync_ns: float = 80.0
+    # Fraction of raw SERDES bandwidth delivered to payloads (64b/66b
+    # line coding, frame headers, credit/idle symbols).
+    channel_efficiency: float = 0.70
+    # Per-step work outside the range-limited pairwise phase (bonded
+    # forces on the BCs, long-range electrostatics, housekeeping); not
+    # overlapped with the channels, so it dilutes app-level speedup
+    # (Fig. 9b) without appearing in the pairwise activity window
+    # (Fig. 12).
+    other_compute_ns: float = 250.0
+
+    @property
+    def ppim_pairs_per_ns(self) -> float:
+        return (self.chip.num_ppims * self.pairs_per_ppim_per_cycle
+                * self.chip.clock_ghz)
+
+    @property
+    def integration_atoms_per_ns(self) -> float:
+        return (self.chip.num_gcs * self.chip.clock_ghz
+                / self.integration_cycles_per_atom)
+
+    @property
+    def channel_bits_per_ns(self) -> float:
+        """Effective payload rate of one neighbor channel direction
+        (16 lanes x 29 Gb/s, derated by the line-coding efficiency)."""
+        return self.chip.neighbor_bandwidth_gbps * self.channel_efficiency
+
+
+@dataclass
+class TimestepBreakdown:
+    """Durations (ns) of one time step's phases on the critical path."""
+
+    channel_ns: float
+    ppim_ns: float
+    integration_ns: float
+    sync_ns: float
+    pipeline_fill_ns: float
+    other_compute_ns: float = 0.0
+
+    @property
+    def pairwise_phase_ns(self) -> float:
+        """The range-limited pairwise window Figure 12 plots: streaming
+        pipeline fill plus the channel/PPIM overlap region."""
+        return self.pipeline_fill_ns + max(self.channel_ns, self.ppim_ns)
+
+    @property
+    def total_ns(self) -> float:
+        """Whole-step duration: the pairwise phase plus integration,
+        synchronization, and the non-overlapped remainder of the MD step
+        (bonded and long-range work)."""
+        return (self.pairwise_phase_ns + self.integration_ns
+                + self.sync_ns + self.other_compute_ns)
+
+    @property
+    def channel_bound(self) -> bool:
+        return self.channel_ns >= self.ppim_ns
+
+    @property
+    def ppim_utilization(self) -> float:
+        """PPIM busy fraction during the streaming window (Fig. 12's
+        underutilization signal)."""
+        window = max(self.channel_ns, self.ppim_ns)
+        return self.ppim_ns / window if window > 0 else 0.0
+
+
+class TimestepModel:
+    """Evaluates step duration from a step's traffic and workload."""
+
+    def __init__(self, params: Optional[TimestepParams] = None) -> None:
+        self.params = params or TimestepParams()
+
+    def evaluate(self, traffic: StepTraffic, num_pairs: int,
+                 num_atoms: int, num_nodes: int) -> TimestepBreakdown:
+        """Compute the phase breakdown of one time step.
+
+        Args:
+            traffic: Channel bits from :class:`~repro.fullsim.traffic.
+                TrafficModel` for the chosen compression configuration.
+            num_pairs: Range-limited pairs this step (whole machine).
+            num_atoms: Atoms in the chemical system.
+            num_nodes: Nodes in the machine.
+        """
+        params = self.params
+        # The step drains when the most loaded channel finishes.
+        channel_ns = traffic.max_channel_bits / params.channel_bits_per_ns
+        pairs_per_node = num_pairs / num_nodes
+        ppim_ns = pairs_per_node / params.ppim_pairs_per_ns
+        atoms_per_node = num_atoms / num_nodes
+        integration_ns = atoms_per_node / params.integration_atoms_per_ns
+        return TimestepBreakdown(
+            channel_ns=channel_ns,
+            ppim_ns=ppim_ns,
+            integration_ns=integration_ns,
+            sync_ns=params.sync_ns,
+            pipeline_fill_ns=params.pipeline_fill_ns,
+            other_compute_ns=params.other_compute_ns)

@@ -1,0 +1,35 @@
+"""Machine-level models: floorplan, components, analytic latency."""
+
+from .asic import AsicFloorplan, Component, ComponentKind, Tile, TileKind
+from .components import (
+    BondCalculatorModel,
+    GeometryCoreModel,
+    IcbModel,
+    PpimModel,
+    chip_pair_throughput_gops,
+)
+from .latency_model import (
+    BreakdownEntry,
+    breakdown_total_ns,
+    minimum_one_hop_breakdown,
+    per_hop_breakdown,
+    per_hop_total_ns,
+)
+
+__all__ = [
+    "AsicFloorplan",
+    "Component",
+    "ComponentKind",
+    "Tile",
+    "TileKind",
+    "BondCalculatorModel",
+    "GeometryCoreModel",
+    "IcbModel",
+    "PpimModel",
+    "chip_pair_throughput_gops",
+    "BreakdownEntry",
+    "breakdown_total_ns",
+    "minimum_one_hop_breakdown",
+    "per_hop_breakdown",
+    "per_hop_total_ns",
+]

@@ -1,0 +1,116 @@
+"""Floorplan inventory of the Anton 3 ASIC — Section II-B / Figure 1.
+
+The chip is a tiled layout: a 24 x 12 array of Core Tiles flanked by 12
+Edge Tiles per side.  This module enumerates every tile and every network
+endpoint with its coordinates; the area model and the documentation (and
+several tests) consume this inventory, and it double-checks the component
+counts published in Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..config import ChipConfig, DEFAULT_CHIP
+
+
+class TileKind(enum.Enum):
+    CORE = "core"
+    EDGE = "edge"
+
+
+class ComponentKind(enum.Enum):
+    GEOMETRY_CORE = "gc"
+    PPIM = "ppim"
+    BOND_CALCULATOR = "bc"
+    CORE_ROUTER = "core_router"
+    EDGE_ROUTER = "edge_router"
+    ICB = "icb"
+    CHANNEL_ADAPTER = "channel_adapter"
+    ROW_ADAPTER = "row_adapter"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of the chip floorplan."""
+
+    kind: TileKind
+    column: int     # core tiles: 0-23; edge tiles: -1 (left) or 24 (right)
+    row: int
+
+
+@dataclass(frozen=True)
+class Component:
+    """One hardware component instance with its tile location."""
+
+    kind: ComponentKind
+    tile: Tile
+    index: int  # instance index within the tile
+
+
+class AsicFloorplan:
+    """Enumerates the tiles and components of one ASIC."""
+
+    def __init__(self, chip: ChipConfig = DEFAULT_CHIP) -> None:
+        self.chip = chip
+
+    # -- tiles ----------------------------------------------------------
+
+    def core_tiles(self) -> Iterator[Tile]:
+        for u in range(self.chip.core_tile_cols):
+            for v in range(self.chip.core_tile_rows):
+                yield Tile(TileKind.CORE, u, v)
+
+    def edge_tiles(self) -> Iterator[Tile]:
+        for row in range(self.chip.edge_tile_rows):
+            yield Tile(TileKind.EDGE, -1, row)
+            yield Tile(TileKind.EDGE, self.chip.core_tile_cols, row)
+
+    def tiles(self) -> Iterator[Tile]:
+        yield from self.core_tiles()
+        yield from self.edge_tiles()
+
+    # -- components -----------------------------------------------------
+
+    def components(self) -> Iterator[Component]:
+        chip = self.chip
+        for tile in self.core_tiles():
+            for g in range(chip.gcs_per_core_tile):
+                yield Component(ComponentKind.GEOMETRY_CORE, tile, g)
+            for p in range(chip.ppims_per_core_tile):
+                yield Component(ComponentKind.PPIM, tile, p)
+            yield Component(ComponentKind.BOND_CALCULATOR, tile, 0)
+            yield Component(ComponentKind.CORE_ROUTER, tile, 0)
+        for tile in self.edge_tiles():
+            for e in range(chip.edge_router_cols):
+                yield Component(ComponentKind.EDGE_ROUTER, tile, e)
+            for i in range(chip.icbs_per_edge_tile):
+                yield Component(ComponentKind.ICB, tile, i)
+            yield Component(ComponentKind.CHANNEL_ADAPTER, tile, 0)
+            # Row adapters: one per ICB plus one for the core-network row.
+            for r in range(3):
+                yield Component(ComponentKind.ROW_ADAPTER, tile, r)
+
+    def component_counts(self) -> Dict[ComponentKind, int]:
+        counts: Dict[ComponentKind, int] = {}
+        for component in self.components():
+            counts[component.kind] = counts.get(component.kind, 0) + 1
+        return counts
+
+    def validate_against_paper(self) -> List[str]:
+        """Cross-check the inventory against Table II; returns mismatches."""
+        counts = self.component_counts()
+        expected = {
+            ComponentKind.CORE_ROUTER: 288,
+            ComponentKind.EDGE_ROUTER: 72,
+            ComponentKind.CHANNEL_ADAPTER: 24,
+            ComponentKind.ROW_ADAPTER: 72,
+        }
+        problems = []
+        for kind, want in expected.items():
+            have = counts.get(kind, 0)
+            if have != want:
+                problems.append(f"{kind.value}: have {have}, paper says {want}")
+        return problems

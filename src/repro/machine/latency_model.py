@@ -1,0 +1,95 @@
+"""Analytic end-to-end latency model — the Figure 6 breakdown.
+
+Figure 6 of the paper decomposes the minimum 55-ns one-hop end-to-end
+latency across the endpoints and network components.  This model rebuilds
+that decomposition from the same :class:`~repro.netsim.params.
+LatencyParams` the flit simulator uses, so the two agree by construction;
+``tests/test_latency_model.py`` cross-checks the sum against a measured
+best-placement netsim ping.
+
+The minimum path places both GCs adjacent to the exit/entry edge on the
+channel's row, so the on-chip distances are the minimum achievable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..netsim.params import DEFAULT_PARAMS, LatencyParams
+
+
+@dataclass(frozen=True)
+class BreakdownEntry:
+    """One bar segment of the Figure 6 breakdown."""
+
+    component: str
+    ns: float
+
+
+def minimum_one_hop_breakdown(
+        params: LatencyParams = DEFAULT_PARAMS) -> List[BreakdownEntry]:
+    """Component-by-component latency of the best-placement 1-hop path.
+
+    The path: GC software issue -> TRTR -> one Core Network U hop -> RA ->
+    Edge Network to the Channel Adapter (two inner-column hops plus the
+    outer-column crossing) -> SERDES/wire/SERDES -> receive CA -> Edge
+    Network to the destination RA -> one U hop -> TRTR -> SRAM counted
+    write -> blocking-read release.
+    """
+    c = params.cycles
+    flit = params.flit_serialization_ns
+    mesh_flit = params.cycle_ns  # one flit per cycle on on-chip links
+    entries = [
+        BreakdownEntry("GC send (software + issue)",
+                       c(params.gc_send_overhead_cycles)),
+        BreakdownEntry("TRTR (inject)", c(params.trtr_cycles) + mesh_flit),
+        BreakdownEntry("Core Network (1 U hop)",
+                       c(params.core_u_cycles) + mesh_flit),
+        BreakdownEntry("RA (core->edge)", c(params.ra_cycles) + mesh_flit),
+        BreakdownEntry("Edge Network to CA (3 ERTR hops)",
+                       3 * (c(params.edge_hop_cycles) + mesh_flit)),
+        BreakdownEntry("CA (encode + frame)", c(params.ca_tx_cycles)
+                       + mesh_flit),
+        BreakdownEntry("SERDES TX", params.serdes_tx_ns + flit),
+        BreakdownEntry("Wire", params.wire_ns),
+        BreakdownEntry("SERDES RX", params.serdes_rx_ns),
+        BreakdownEntry("CA (decode)", c(params.ca_rx_cycles) + mesh_flit),
+        BreakdownEntry("Edge Network to RA (3 ERTR hops)",
+                       3 * (c(params.edge_hop_cycles) + mesh_flit)),
+        BreakdownEntry("RA (edge->core)", c(params.ra_cycles) + mesh_flit),
+        BreakdownEntry("Core Network (1 U hop)",
+                       c(params.core_u_cycles) + mesh_flit),
+        BreakdownEntry("TRTR (eject) + SRAM write",
+                       c(params.trtr_cycles + params.sram_write_cycles)),
+        BreakdownEntry("Blocking read release",
+                       c(params.unstall_cycles)),
+    ]
+    return entries
+
+
+def breakdown_total_ns(params: LatencyParams = DEFAULT_PARAMS) -> float:
+    return sum(e.ns for e in minimum_one_hop_breakdown(params))
+
+
+def per_hop_breakdown(
+        params: LatencyParams = DEFAULT_PARAMS) -> List[BreakdownEntry]:
+    """The recurring cost of one additional torus hop (intra-dimensional
+    pass through an intermediate node: CA in, outer column, CA out, and
+    the channel itself)."""
+    c = params.cycles
+    mesh_flit = params.cycle_ns
+    return [
+        BreakdownEntry("CA (decode)", c(params.ca_rx_cycles) + mesh_flit),
+        BreakdownEntry("Outer-column ERTR hops",
+                       2 * (c(params.edge_hop_cycles) + mesh_flit)),
+        BreakdownEntry("CA (encode)", c(params.ca_tx_cycles) + mesh_flit),
+        BreakdownEntry("SERDES TX", params.serdes_tx_ns
+                       + params.flit_serialization_ns),
+        BreakdownEntry("Wire", params.wire_ns),
+        BreakdownEntry("SERDES RX", params.serdes_rx_ns),
+    ]
+
+
+def per_hop_total_ns(params: LatencyParams = DEFAULT_PARAMS) -> float:
+    return sum(e.ns for e in per_hop_breakdown(params))

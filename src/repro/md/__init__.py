@@ -1,0 +1,40 @@
+"""MD substrate: the workload that drives the Anton 3 network models."""
+
+from .cells import CellGrid, neighbor_pairs
+from .decomposition import Decomposition, multicast_tree, unicast_path
+from .engine import MdConfig, MdEngine, Snapshot
+from .fixedpoint import FixedPointCodec, ForceCodec
+from .forces import ForceField, ForceResult, compute_forces
+from .integrator import StepRecord, VelocityVerlet
+from .system import (
+    KB,
+    KJ_PER_MOL,
+    WATER_NUMBER_DENSITY,
+    ChemicalSystem,
+    box_edge_for_atoms,
+    water_box,
+)
+
+__all__ = [
+    "CellGrid",
+    "neighbor_pairs",
+    "Decomposition",
+    "multicast_tree",
+    "unicast_path",
+    "MdConfig",
+    "MdEngine",
+    "Snapshot",
+    "FixedPointCodec",
+    "ForceCodec",
+    "ForceField",
+    "ForceResult",
+    "compute_forces",
+    "StepRecord",
+    "VelocityVerlet",
+    "KB",
+    "KJ_PER_MOL",
+    "WATER_NUMBER_DENSITY",
+    "ChemicalSystem",
+    "box_edge_for_atoms",
+    "water_box",
+]

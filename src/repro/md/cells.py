@@ -1,0 +1,166 @@
+"""Cell-list neighbor finding for range-limited pairwise interactions.
+
+The range-limited pairwise computation (Section II-A) only involves atom
+pairs within a cutoff radius.  The standard cell-list algorithm bins atoms
+into cells of edge >= cutoff and enumerates candidate pairs from each cell
+and its 13 forward neighbor cells (half stencil, periodic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Half stencil: the 13 forward neighbor offsets plus handling of the
+#: self cell inside :func:`neighbor_pairs`.
+_HALF_STENCIL = [
+    (1, 0, 0), (0, 1, 0), (0, 0, 1),
+    (1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1),
+    (0, 1, 1), (0, 1, -1),
+    (1, 1, 1), (1, 1, -1), (1, -1, 1), (1, -1, -1),
+]
+
+
+@dataclass(frozen=True)
+class CellGrid:
+    """Geometry of the cell decomposition of a cubic box."""
+
+    box: float
+    cutoff: float
+    cells_per_side: int
+
+    @classmethod
+    def for_box(cls, box: float, cutoff: float) -> "CellGrid":
+        if cutoff <= 0 or box <= 0:
+            raise ValueError("box and cutoff must be positive")
+        if cutoff > box / 2:
+            raise ValueError("cutoff must not exceed half the box")
+        cells = max(1, int(np.floor(box / cutoff)))
+        return cls(box=box, cutoff=cutoff, cells_per_side=cells)
+
+    @property
+    def cell_edge(self) -> float:
+        return self.box / self.cells_per_side
+
+    @property
+    def num_cells(self) -> int:
+        return self.cells_per_side ** 3
+
+    def cell_index(self, positions: np.ndarray) -> np.ndarray:
+        """Flat cell index for each position."""
+        n = self.cells_per_side
+        coords = np.floor(positions / self.cell_edge).astype(np.int64) % n
+        return (coords[:, 0] * n + coords[:, 1]) * n + coords[:, 2]
+
+
+def neighbor_pairs(positions: np.ndarray, box: float,
+                   cutoff: float) -> Tuple[np.ndarray, np.ndarray]:
+    """All atom pairs (i, j), i < j-ish unique, within ``cutoff``.
+
+    Returns two index arrays of equal length.  Uses minimum-image periodic
+    distances.  Falls back to the O(N^2) method for boxes smaller than
+    three cells per side (where the half stencil would double count).
+    """
+    positions = np.asarray(positions, dtype=np.float64) % box
+    n_atoms = positions.shape[0]
+    grid = CellGrid.for_box(box, cutoff)
+    if grid.cells_per_side < 3 or n_atoms < 64:
+        return _brute_force_pairs(positions, box, cutoff)
+
+    n = grid.cells_per_side
+    flat = grid.cell_index(positions)
+    order = np.argsort(flat, kind="stable")
+    sorted_cells = flat[order]
+    starts = np.searchsorted(sorted_cells, np.arange(n ** 3), side="left")
+    ends = np.searchsorted(sorted_cells, np.arange(n ** 3), side="right")
+
+    members = [order[starts[c]:ends[c]] for c in range(n ** 3)]
+
+    pair_i = []
+    pair_j = []
+
+    # Self-cell pairs.
+    for c in range(n ** 3):
+        atoms = members[c]
+        if len(atoms) > 1:
+            ii, jj = np.triu_indices(len(atoms), k=1)
+            pair_i.append(atoms[ii])
+            pair_j.append(atoms[jj])
+
+    # Forward-stencil cross-cell pairs.
+    cz = np.arange(n ** 3) % n
+    cy = (np.arange(n ** 3) // n) % n
+    cx = np.arange(n ** 3) // (n * n)
+    for dx, dy, dz in _HALF_STENCIL:
+        ox = (cx + dx) % n
+        oy = (cy + dy) % n
+        oz = (cz + dz) % n
+        other = (ox * n + oy) * n + oz
+        for c in range(n ** 3):
+            a = members[c]
+            b = members[other[c]]
+            if len(a) and len(b):
+                ii = np.repeat(a, len(b))
+                jj = np.tile(b, len(a))
+                pair_i.append(ii)
+                pair_j.append(jj)
+
+    if not pair_i:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    ii = np.concatenate(pair_i)
+    jj = np.concatenate(pair_j)
+    delta = positions[ii] - positions[jj]
+    delta -= box * np.rint(delta / box)
+    keep = np.einsum("ij,ij->i", delta, delta) <= cutoff * cutoff
+    return ii[keep], jj[keep]
+
+
+def _brute_force_pairs(positions: np.ndarray, box: float,
+                       cutoff: float) -> Tuple[np.ndarray, np.ndarray]:
+    n_atoms = positions.shape[0]
+    ii, jj = np.triu_indices(n_atoms, k=1)
+    delta = positions[ii] - positions[jj]
+    delta -= box * np.rint(delta / box)
+    keep = np.einsum("ij,ij->i", delta, delta) <= cutoff * cutoff
+    return ii[keep], jj[keep]
+
+
+class NeighborList:
+    """A Verlet neighbor list: cell-list pairs with a skin radius.
+
+    Pairs are found within ``cutoff + skin`` and reused until any atom has
+    moved more than ``skin / 2`` since the last rebuild, which bounds the
+    error at exactly zero (no pair can cross the cutoff undetected).
+    """
+
+    def __init__(self, box: float, cutoff: float, skin: float = 1.0) -> None:
+        if skin < 0:
+            raise ValueError("skin must be non-negative")
+        self.box = box
+        self.cutoff = cutoff
+        self.skin = skin
+        self._pairs: Tuple[np.ndarray, np.ndarray] = (
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        self._reference: np.ndarray = np.empty((0, 3))
+        self.rebuilds = 0
+
+    def _needs_rebuild(self, positions: np.ndarray) -> bool:
+        if self._reference.shape != positions.shape:
+            return True
+        delta = positions - self._reference
+        delta -= self.box * np.rint(delta / self.box)
+        max_sq = float(np.max(np.einsum("ij,ij->i", delta, delta)))
+        return max_sq > (self.skin / 2.0) ** 2
+
+    def pairs(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs within cutoff+skin (callers re-filter to the
+        true cutoff when computing forces)."""
+        positions = np.asarray(positions, dtype=np.float64) % self.box
+        if self._needs_rebuild(positions):
+            reach = min(self.cutoff + self.skin, self.box / 2.000001)
+            self._pairs = neighbor_pairs(positions, self.box, reach)
+            self._reference = positions.copy()
+            self.rebuilds += 1
+        return self._pairs

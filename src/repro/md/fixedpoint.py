@@ -1,0 +1,81 @@
+"""Fixed-point coordinate and force codecs.
+
+Anton 3 represents atom positions as 32-bit fixed-point integers (the
+quantities the particle cache predicts and the INZ encoder compresses).
+The codec here maps simulation-space floats (angstroms) to wrapped signed
+32-bit words and back.
+
+The resolution default (2^-13 A ~ 1.2e-4 A) is chosen so that a typical
+solvated-system box (tens of angstroms per node) spans ~20 bits, per-step
+atom motion spans ~6-8 bits, and quadratic-extrapolation residuals fit in
+a byte — the operating point the particle cache was designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_I32_MIN = -(2**31)
+_I32_MAX = 2**31 - 1
+_WRAP = 2**32
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Converts float coordinates (angstroms) to signed 32-bit words.
+
+    Attributes:
+        resolution: Length of one fixed-point unit, in angstroms.
+    """
+
+    resolution: float = 2.0**-13
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Quantize to fixed point, wrapping into int32 like the hardware."""
+        scaled = np.rint(np.asarray(values, dtype=np.float64)
+                         / self.resolution).astype(np.int64)
+        wrapped = (scaled + 2**31) % _WRAP - 2**31
+        return wrapped.astype(np.int32)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        """Fixed point back to angstroms (exact for in-range values)."""
+        return np.asarray(words, dtype=np.float64) * self.resolution
+
+    def encode_scalar(self, value: float) -> int:
+        return int(self.encode(np.array([value]))[0])
+
+    def max_representable(self) -> float:
+        """Largest coordinate magnitude before 32-bit wraparound."""
+        return _I32_MAX * self.resolution
+
+
+@dataclass(frozen=True)
+class ForceCodec:
+    """Converts force components to signed 32-bit fixed point.
+
+    Force payloads returned over the network are the other large INZ
+    consumer (Section IV-A mentions "forces, charges, etc.").  The default
+    scale puts typical thermal Lennard-Jones force components in the
+    12-16 bit range.
+    """
+
+    resolution: float = 2.0**-18  # force units per count
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        scaled = np.rint(np.asarray(values, dtype=np.float64)
+                         / self.resolution).astype(np.int64)
+        clipped = np.clip(scaled, _I32_MIN, _I32_MAX)
+        return clipped.astype(np.int32)
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        return np.asarray(words, dtype=np.float64) * self.resolution

@@ -1,0 +1,128 @@
+"""Chemical systems and the water-box workload generator.
+
+The paper's compression and activity experiments run "synthetic water-only
+benchmarks at various atom counts" (Section IV-C).  We model water as
+single-site Lennard-Jones particles with SPC oxygen parameters at liquid
+water's number density — the network only cares about position-stream
+smoothness and interaction counts, which this preserves.
+
+Units: angstroms, femtoseconds, amu.  The internal energy unit is
+amu*A^2/fs^2 (1 kJ/mol = 1.0e-4 of these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Boltzmann constant in amu*A^2/fs^2 per kelvin.
+KB = 8.31446e-7
+
+#: kJ/mol expressed in internal energy units.
+KJ_PER_MOL = 1.0e-4
+
+#: Liquid water number density (molecules per cubic angstrom).
+WATER_NUMBER_DENSITY = 0.0334
+
+#: SPC water oxygen Lennard-Jones parameters.
+WATER_EPSILON = 0.650 * KJ_PER_MOL     # well depth
+WATER_SIGMA = 3.166                    # angstroms
+WATER_MASS = 18.0154                   # amu (whole molecule at the O site)
+
+
+@dataclass
+class ChemicalSystem:
+    """A particle system in a cubic periodic box.
+
+    Attributes:
+        positions: (N, 3) float positions in angstroms, in [0, box).
+        velocities: (N, 3) float velocities in A/fs.
+        box: Cubic box edge length in angstroms.
+        mass: Per-particle mass (amu); water-box systems are monodisperse.
+        epsilon: LJ well depth (internal energy units).
+        sigma: LJ diameter (angstroms).
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    box: float
+    mass: float = WATER_MASS
+    epsilon: float = WATER_EPSILON
+    sigma: float = WATER_SIGMA
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.velocities = np.asarray(self.velocities, dtype=np.float64)
+        if self.positions.shape != self.velocities.shape:
+            raise ValueError("positions and velocities must align")
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must be (N, 3)")
+        if self.box <= 0:
+            raise ValueError("box must be positive")
+
+    @property
+    def num_atoms(self) -> int:
+        return self.positions.shape[0]
+
+    def wrap(self) -> None:
+        """Wrap positions into the primary periodic image [0, box)."""
+        self.positions %= self.box
+
+    def kinetic_energy(self) -> float:
+        return 0.5 * self.mass * float(np.sum(self.velocities ** 2))
+
+    def temperature(self) -> float:
+        """Instantaneous kinetic temperature in kelvin."""
+        dof = 3 * self.num_atoms - 3
+        if dof <= 0:
+            return 0.0
+        return 2.0 * self.kinetic_energy() / (dof * KB)
+
+    def zero_momentum(self) -> None:
+        self.velocities -= self.velocities.mean(axis=0, keepdims=True)
+
+
+def box_edge_for_atoms(n_atoms: int,
+                       density: float = WATER_NUMBER_DENSITY) -> float:
+    """Cubic box edge (angstroms) holding ``n_atoms`` at ``density``."""
+    if n_atoms < 1:
+        raise ValueError("need at least one atom")
+    return float((n_atoms / density) ** (1.0 / 3.0))
+
+
+def water_box(n_atoms: int, temperature: float = 300.0,
+              density: float = WATER_NUMBER_DENSITY,
+              seed: int = 0) -> ChemicalSystem:
+    """Build an equilibrating water box of ``n_atoms`` LJ-water particles.
+
+    Particles start on a jittered simple-cubic lattice (guaranteeing a
+    sane minimum separation) with Maxwell-Boltzmann velocities at
+    ``temperature`` and zero net momentum.
+    """
+    rng = np.random.default_rng(seed)
+    box = box_edge_for_atoms(n_atoms, density)
+    per_side = int(np.ceil(n_atoms ** (1.0 / 3.0)))
+    spacing = box / per_side
+    sites = []
+    for ix in range(per_side):
+        for iy in range(per_side):
+            for iz in range(per_side):
+                sites.append((ix, iy, iz))
+                if len(sites) == n_atoms:
+                    break
+            if len(sites) == n_atoms:
+                break
+        if len(sites) == n_atoms:
+            break
+    lattice = (np.array(sites, dtype=np.float64) + 0.5) * spacing
+    jitter = rng.uniform(-0.08, 0.08, size=lattice.shape) * spacing
+    positions = (lattice + jitter) % box
+
+    sigma_v = np.sqrt(KB * temperature / WATER_MASS)
+    velocities = rng.normal(0.0, sigma_v, size=positions.shape)
+    system = ChemicalSystem(positions=positions, velocities=velocities,
+                            box=box)
+    system.zero_momentum()
+    return system

@@ -1,0 +1,59 @@
+"""Flit-level simulator of the Anton 3 network (Sections II-III)."""
+
+from .chip import ChipNetwork, GcEndpoint
+from .core_router import CORE_VC_REQUEST, CORE_VC_RESPONSE, CoreNetwork, CoreRouter
+from .edge_router import (
+    DIRECTION_ROWS,
+    ChannelAdapter,
+    EdgeNetwork,
+    EdgeRouter,
+    EdgeTarget,
+    RowAdapter,
+)
+from .fabric import FabricError, Link, Router
+from .machine import NetworkMachine
+from .packet import (
+    FLIT_BITS,
+    HEADER_BITS,
+    PAYLOAD_BITS,
+    RESPONSE_VC,
+    CoreAddress,
+    Packet,
+    PacketKind,
+    TrafficClass,
+    request_vc,
+)
+from .params import DEFAULT_PARAMS, LatencyParams
+from .pingpong import PingPongHarness, PingPongResult
+
+__all__ = [
+    "ChipNetwork",
+    "GcEndpoint",
+    "CORE_VC_REQUEST",
+    "CORE_VC_RESPONSE",
+    "CoreNetwork",
+    "CoreRouter",
+    "DIRECTION_ROWS",
+    "ChannelAdapter",
+    "EdgeNetwork",
+    "EdgeRouter",
+    "EdgeTarget",
+    "RowAdapter",
+    "FabricError",
+    "Link",
+    "Router",
+    "NetworkMachine",
+    "FLIT_BITS",
+    "HEADER_BITS",
+    "PAYLOAD_BITS",
+    "RESPONSE_VC",
+    "CoreAddress",
+    "Packet",
+    "PacketKind",
+    "TrafficClass",
+    "request_vc",
+    "DEFAULT_PARAMS",
+    "LatencyParams",
+    "PingPongHarness",
+    "PingPongResult",
+]

@@ -1,0 +1,297 @@
+"""Whole-ASIC network assembly: Core Network, Edge Networks, adapters, GCs.
+
+One :class:`ChipNetwork` instance models the network of a single Anton 3
+node: a Core Network mesh of Core Routers, two Edge Networks (left and
+right), Row Adapters joining them, and Channel Adapters attaching the
+twelve channel-slice endpoints (six torus directions times two slices —
+slice 0 lives on the left edge, slice 1 on the right, so each neighbor is
+served by 2 x 8 SERDES lanes, matching the chip's 96 lanes).
+
+The chip also hosts the Geometry Core endpoints: each GC owns a quad-SRAM
+with counted-write counters and a blocking-read port (Section III-A).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..engine.simulator import Simulator
+from ..sync.blocking_read import BlockingReadPort
+from ..sync.sram import QuadSram
+from ..topology.torus import Coord, Torus3D
+from .core_router import CoreNetwork, CoreNetworkHost, core_vc
+from .edge_router import (
+    ChannelAdapter,
+    EdgeNetwork,
+    EdgeTarget,
+    OUTER_COL,
+    RowAdapter,
+    edge_vc,
+)
+from .fabric import FabricError, Link
+from .packet import CoreAddress, Packet, PacketKind, TrafficClass
+from .params import DEFAULT_PARAMS, LatencyParams
+
+SIDES = ("L", "R")  # slice 0 -> left edge, slice 1 -> right edge
+
+
+@dataclass
+class GcEndpoint:
+    """One Geometry Core's network-visible state."""
+
+    address: CoreAddress
+    sram: QuadSram
+    read_port: BlockingReadPort
+    delivered: List[Packet] = field(default_factory=list)
+
+
+class ChipNetwork(CoreNetworkHost):
+    """The network of one node (one ASIC)."""
+
+    def __init__(self, sim: Simulator, coord: Coord, torus: Torus3D,
+                 params: LatencyParams = DEFAULT_PARAMS,
+                 cols: int = 24, rows: int = 12,
+                 rng: Optional[random.Random] = None) -> None:
+        self._sim = sim
+        self.coord = coord
+        self.torus = torus
+        self.params = params
+        self.cols = cols
+        self.rows = rows
+        self._rng = rng if rng is not None else random.Random(0)
+        tag = f"n{torus.node_id(coord)}"
+
+        self.core = CoreNetwork(sim, self, params, cols=cols, rows=rows,
+                                tag=tag)
+        self.edges: Dict[str, EdgeNetwork] = {
+            side: EdgeNetwork(sim, side, tag, params, rows=rows)
+            for side in SIDES}
+        self._gcs: Dict[Tuple[int, int, int], GcEndpoint] = {}
+        self.fence_handler: Optional[Callable[[Packet], None]] = None
+
+        # Row Adapters: one per (side, row), joining core column 0 or
+        # cols-1 to the inner edge column.
+        self.row_adapters: Dict[Tuple[str, int], RowAdapter] = {}
+        for side in SIDES:
+            core_u = 0 if side == "L" else cols - 1
+            for row in range(rows):
+                ra = RowAdapter(sim, f"ra{side}{row}@{tag}", row, params,
+                                plan_egress=self._plan_egress)
+                self.edges[side].attach_ra(row, ra)
+                to_core = Link(
+                    sim, f"{ra.name}->core", latency_ns=0.0,
+                    ser_ns_per_flit=params.cycle_ns, vcs=2, credit_flits=8,
+                    deliver=self._ra_to_core(core_u, row))
+                ra.add_output("core", to_core)
+                core_to_ra = Link(
+                    sim, f"core({core_u},{row})->{ra.name}", latency_ns=0.0,
+                    ser_ns_per_flit=params.cycle_ns, vcs=2, credit_flits=8,
+                    deliver=self._core_to_ra(ra))
+                self.core.attach_ra(core_u, row, core_to_ra)
+                self.row_adapters[(side, row)] = ra
+
+        # Channel Adapters: direction x slice; outgoing channel links are
+        # wired later by the machine (attach_channel).
+        self.channel_adapters: Dict[Tuple[Tuple[int, int], int],
+                                    ChannelAdapter] = {}
+        for slice_index, side in enumerate(SIDES):
+            edge = self.edges[side]
+            for direction in edge.direction_rows:
+                ca = ChannelAdapter(
+                    sim, f"ca{side}{direction}@{tag}", direction,
+                    slice_index, params, plan_ingress=self._plan_ingress)
+                edge.attach_ca(ca)
+                ca.add_sink("fence", self._deliver_fence)
+                self.channel_adapters[(direction, slice_index)] = ca
+
+        # Per-GC sinks on every core router.
+        for u in range(cols):
+            for v in range(rows):
+                router = self.core.router(u, v)
+                router.add_sink("gc0", self._deliver_to_gc)
+                router.add_sink("gc1", self._deliver_to_gc)
+
+    # ------------------------------------------------------------------
+    # Geometry cores.
+    # ------------------------------------------------------------------
+
+    def gc(self, address: CoreAddress) -> GcEndpoint:
+        """The (lazily created) endpoint state for one GC."""
+        key = (address.tile_u, address.tile_v, address.which)
+        if not (0 <= address.tile_u < self.cols
+                and 0 <= address.tile_v < self.rows
+                and address.which in (0, 1)):
+            raise FabricError(f"no GC at {address} on a "
+                              f"{self.cols}x{self.rows} chip")
+        if key not in self._gcs:
+            sram = QuadSram()
+            self._gcs[key] = GcEndpoint(
+                address=address, sram=sram,
+                read_port=BlockingReadPort(
+                    self._sim, sram,
+                    read_latency_ns=self.params.cycles(
+                        self.params.unstall_cycles)))
+        return self._gcs[key]
+
+    def send(self, packet: Packet) -> None:
+        """A GC issues a packet: software overhead, then TRTR injection."""
+        packet.injected_ns = self._sim.now
+        delay = self.params.cycles(self.params.gc_send_overhead_cycles)
+        self._sim.after(delay, lambda: self.core.inject(packet,
+                                                        packet.src_core))
+
+    def _deliver_to_gc(self, packet: Packet) -> None:
+        """Final TRTR ejection plus SRAM commit for an arriving packet."""
+        params = self.params
+        delay = params.cycles(params.trtr_cycles + params.sram_write_cycles)
+
+        def commit() -> None:
+            endpoint = self.gc(packet.dst_core)
+            packet.delivered_ns = self._sim.now
+            endpoint.delivered.append(packet)
+            if packet.kind in (PacketKind.COUNTED_WRITE, PacketKind.POSITION,
+                               PacketKind.FORCE):
+                words = list(packet.payload_words) or [0, 0, 0, 0]
+                endpoint.sram.counted_write(packet.quad_addr, words[:4],
+                                            accumulate=packet.accumulate)
+            elif packet.kind is PacketKind.READ_REQUEST:
+                self._serve_remote_read(packet, endpoint)
+            elif packet.kind is PacketKind.READ_RESPONSE:
+                # Read data lands as a counted write to the requester's
+                # reply quad, releasing any blocking read on it.
+                words = list(packet.payload_words) or [0, 0, 0, 0]
+                endpoint.sram.counted_write(packet.quad_addr, words[:4])
+
+        self._sim.after(delay, commit)
+
+    def _serve_remote_read(self, request: Packet,
+                           endpoint: GcEndpoint) -> None:
+        """Memory serves a remote read: returns the addressed quad as a
+        response-class packet (XYZ mesh-restricted route, response VC)."""
+        words = tuple(endpoint.sram.read(request.quad_addr))
+        reply_quad = request.payload_words[0] if request.payload_words else 0
+        response = Packet(
+            kind=PacketKind.READ_RESPONSE,
+            traffic_class=TrafficClass.RESPONSE,
+            src_node=self.coord,
+            dst_node=request.src_node,
+            src_core=request.dst_core,
+            dst_core=request.src_core,
+            num_flits=2,                    # header + 16-byte data payload
+            payload_words=words,
+            dim_order=(0, 1, 2),            # responses are XYZ-only
+            slice_index=request.slice_index,
+            quad_addr=reply_quad)
+        self.send(response)
+
+    def _deliver_fence(self, packet: Packet) -> None:
+        if self.fence_handler is None:
+            raise FabricError(f"{self.coord}: fence arrived with no handler")
+        self.fence_handler(packet)
+
+    # ------------------------------------------------------------------
+    # CoreNetworkHost interface.
+    # ------------------------------------------------------------------
+
+    def exit_column(self, packet: Packet) -> int:
+        """Remote packets exit via the edge matching their channel slice."""
+        return 0 if packet.slice_index == 0 else self.cols - 1
+
+    # ------------------------------------------------------------------
+    # Torus routing decisions.
+    # ------------------------------------------------------------------
+
+    def next_direction(self, packet: Packet) -> Optional[Tuple[int, int]]:
+        """First axis of the packet's dimension order still unresolved."""
+        if packet.traffic_class is TrafficClass.RESPONSE:
+            # Mesh-restricted XYZ (Section III-B2): no wraparound moves.
+            for axis in (0, 1, 2):
+                delta = packet.dst_node[axis] - self.coord[axis]
+                if delta:
+                    return (axis, 1 if delta > 0 else -1)
+            return None
+        offsets = self.torus.offsets(self.coord, packet.dst_node)
+        for axis in packet.dim_order:
+            if offsets[axis]:
+                return (axis, 1 if offsets[axis] > 0 else -1)
+        return None
+
+    def _edge_for_slice(self, slice_index: int) -> EdgeNetwork:
+        return self.edges[SIDES[slice_index % 2]]
+
+    def _plan_egress(self, packet: Packet) -> None:
+        """Called by the RA when a packet crosses into the Edge Network."""
+        direction = self.next_direction(packet)
+        if direction is None:
+            raise FabricError(
+                f"{self.coord}: packet {packet.pid} entered the edge "
+                "network with no remaining torus hops")
+        edge = self._edge_for_slice(packet.slice_index)
+        row = edge.direction_rows[direction]
+        via = self._rng.choice((0, 1))  # inner columns, randomized
+        packet.edge_target = EdgeTarget(via_col=via, row=row,
+                                        exit_col=OUTER_COL,
+                                        exit_port=_ca_port(direction))
+
+    def _plan_ingress(self, packet: Packet,
+                      arrival_direction: Tuple[int, int]) -> str:
+        """Called by a CA when a packet arrives from a channel.
+
+        Returns "fence" for fence packets (delivered to the fence engine)
+        or "edge" after installing the packet's next edge target.
+        """
+        packet.torus_hops_taken += 1
+        if packet.kind is PacketKind.FENCE:
+            return "fence"
+        edge = self._edge_for_slice(packet.slice_index)
+        direction = self.next_direction(packet)
+        if direction is None:
+            # Final node: head for the RA at the destination tile's row.
+            via = self._rng.choice((0, 1))
+            packet.edge_target = EdgeTarget(
+                via_col=via, row=packet.dst_core.tile_v, exit_col=0,
+                exit_port="RA")
+            return "edge"
+        axis_in, sign_in = arrival_direction
+        continuing = (direction[0] == axis_in
+                      and direction[1] == -sign_in)
+        if continuing:
+            # Intra-dimensional: outer column only (Figure 4, blue route).
+            via = OUTER_COL
+        else:
+            via = self._rng.choice((0, 1))
+        packet.edge_target = EdgeTarget(
+            via_col=via, row=edge.direction_rows[direction],
+            exit_col=OUTER_COL, exit_port=_ca_port(direction))
+        return "edge"
+
+    # ------------------------------------------------------------------
+    # Wiring helpers.
+    # ------------------------------------------------------------------
+
+    def _ra_to_core(self, core_u: int, row: int):
+        def deliver(packet: Packet, vc: int, link: Link) -> None:
+            self.core.router(core_u, row).receive(packet, vc, "RA", link)
+        return deliver
+
+    def _core_to_ra(self, ra: RowAdapter):
+        def deliver(packet: Packet, vc: int, link: Link) -> None:
+            ra.receive(packet, vc, "core", link)
+        return deliver
+
+    def attach_channel(self, direction: Tuple[int, int], slice_index: int,
+                       link: Link) -> None:
+        """Wire the outgoing channel link of one CA (called by machine)."""
+        ca = self.channel_adapters[(direction, slice_index)]
+        ca.add_output("channel", link)
+
+    def channel_adapter(self, direction: Tuple[int, int],
+                        slice_index: int) -> ChannelAdapter:
+        return self.channel_adapters[(direction, slice_index)]
+
+
+def _ca_port(direction: Tuple[int, int]) -> str:
+    from ..topology.torus import direction_name
+    return f"CA:{direction_name(direction)}"

@@ -1,0 +1,166 @@
+"""The Core Router and the on-chip Core Network — Section III-B1.
+
+Each Core Tile contains a Core Router built from four sub-routers (one
+URTR, two VRTRs, and a TRTR).  URTR moves packets along the U (column)
+axis at two cycles per hop; VRTR moves along V (row) at five cycles per
+hop; TRTR connects the tile's GCs and BC to the network.  Routing is
+fixed U->V dimension order, and packets bound for remote ASICs travel
+along U only, exiting through a Row Adapter at the chip edge.
+
+The simulator composes the three sub-router roles into one
+:class:`CoreRouter` object per tile and charges the published per-hop
+cycle counts based on the traversal direction, so event cost stays at one
+event per tile-hop while the architecture (and its latencies) match the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine.simulator import Simulator
+from .fabric import FabricError, Link, Router
+from .packet import CoreAddress, Packet, TrafficClass
+from .params import LatencyParams
+
+#: Core-network VCs: one per traffic class (Section III-B1: "just two VCs
+#: suffice to avoid network deadlock between requests and responses").
+CORE_VC_REQUEST = 0
+CORE_VC_RESPONSE = 1
+
+
+def core_vc(packet: Packet) -> int:
+    if packet.traffic_class is TrafficClass.RESPONSE:
+        return CORE_VC_RESPONSE
+    return CORE_VC_REQUEST
+
+
+@dataclass(frozen=True)
+class SubRouterSpec:
+    """Latency role of one Core Router sub-router (URTR/VRTR/TRTR)."""
+
+    name: str
+    hop_cycles: int
+
+
+class CoreRouter(Router):
+    """One tile's router; composed of URTR, VRTR and TRTR roles.
+
+    Output ports: ``U+``, ``U-``, ``V+``, ``V-`` toward neighbor tiles and
+    ``RA`` toward the edge network (only on edge-adjacent columns).  Local
+    sinks ``gc0``/``gc1`` deliver to the tile's Geometry Cores.
+
+    The ``in_port`` on arrival is the direction of travel (e.g. a packet
+    sent out ``U+`` arrives with ``in_port == "U+"``), which determines
+    the sub-router traversed and hence the pipeline charge.
+    """
+
+    def __init__(self, sim: Simulator, name: str, u: int, v: int,
+                 chip: "CoreNetworkHost", params: LatencyParams) -> None:
+        super().__init__(sim, name)
+        self.u = u
+        self.v = v
+        self._chip = chip
+        self._params = params
+        self.urtr = SubRouterSpec("URTR", params.core_u_cycles)
+        self.vrtr = SubRouterSpec("VRTR", params.core_v_cycles)
+        self.trtr = SubRouterSpec("TRTR", params.trtr_cycles)
+
+    def pipeline_ns(self, packet: Packet, in_port: str) -> float:
+        params = self._params
+        if in_port.startswith("U"):
+            return params.cycles(self.urtr.hop_cycles)
+        if in_port.startswith("V"):
+            return params.cycles(self.vrtr.hop_cycles)
+        if in_port == "inject":
+            return params.cycles(self.trtr.hop_cycles)
+        if in_port == "RA":
+            return params.cycles(params.ra_cycles)
+        raise FabricError(f"{self.name}: unknown in_port {in_port}")
+
+    def route(self, packet: Packet, vc: int,
+              in_port: str) -> Tuple[str, str, Optional[int]]:
+        out_vc = core_vc(packet)
+        if packet.dst_node == self._chip.coord:
+            return self._route_local(packet, out_vc)
+        # Remote destination: U-only travel toward the exit edge.
+        exit_u = self._chip.exit_column(packet)
+        if self.u == exit_u:
+            return ("link", "RA", out_vc)
+        return ("link", "U+" if exit_u > self.u else "U-", out_vc)
+
+    def _route_local(self, packet: Packet,
+                     out_vc: int) -> Tuple[str, str, Optional[int]]:
+        dst = packet.dst_core
+        if self.u != dst.tile_u:
+            return ("link", "U+" if dst.tile_u > self.u else "U-", out_vc)
+        if self.v != dst.tile_v:
+            return ("link", "V+" if dst.tile_v > self.v else "V-", out_vc)
+        return ("local", f"gc{dst.which}", None)
+
+
+class CoreNetworkHost:
+    """Interface the CoreRouters need from their chip."""
+
+    coord: Tuple[int, int, int]
+
+    def exit_column(self, packet: Packet) -> int:
+        raise NotImplementedError
+
+
+class CoreNetwork:
+    """The 24x12 mesh of Core Routers on one chip."""
+
+    def __init__(self, sim: Simulator, chip: CoreNetworkHost,
+                 params: LatencyParams, cols: int = 24, rows: int = 12,
+                 vcs: int = 2, credit_flits: int = 8,
+                 tag: str = "") -> None:
+        self._sim = sim
+        self._params = params
+        self.cols = cols
+        self.rows = rows
+        self.routers: Dict[Tuple[int, int], CoreRouter] = {}
+        for u in range(cols):
+            for v in range(rows):
+                name = f"core({u},{v})@{tag or chip.coord}"
+                self.routers[(u, v)] = CoreRouter(sim, name, u, v, chip,
+                                                  params)
+        ser = params.cycle_ns  # one flit per cycle on mesh channels
+        for (u, v), router in self.routers.items():
+            for port, (nu, nv) in (("U+", (u + 1, v)), ("U-", (u - 1, v)),
+                                   ("V+", (u, v + 1)), ("V-", (u, v - 1))):
+                neighbor = self.routers.get((nu, nv))
+                if neighbor is None:
+                    continue
+                link = Link(
+                    sim, f"{router.name}->{port}", latency_ns=0.0,
+                    ser_ns_per_flit=ser, vcs=vcs, credit_flits=credit_flits,
+                    deliver=_mesh_deliver(neighbor, port))
+                router.add_output(port, link)
+
+    def router(self, u: int, v: int) -> CoreRouter:
+        return self.routers[(u, v)]
+
+    def inject(self, packet: Packet, at: CoreAddress) -> None:
+        """Inject from a GC through its tile's TRTR."""
+        router = self.routers[(at.tile_u, at.tile_v)]
+        router.receive(packet, core_vc(packet), "inject", None)
+
+    def attach_gc_sink(self, at: CoreAddress,
+                       handler: Callable[[Packet], None]) -> None:
+        self.routers[(at.tile_u, at.tile_v)].add_sink(f"gc{at.which}",
+                                                      handler)
+
+    def attach_ra(self, u: int, v: int, link: Link) -> None:
+        """Wire the RA-facing output of an edge-adjacent router."""
+        self.routers[(u, v)].add_output("RA", link)
+
+    def receive_from_ra(self, packet: Packet, vc: int, u: int, v: int) -> None:
+        self.routers[(u, v)].receive(packet, vc, "RA", None)
+
+
+def _mesh_deliver(neighbor: CoreRouter, direction: str):
+    def deliver(packet: Packet, vc: int, link: Link) -> None:
+        neighbor.receive(packet, vc, direction, link)
+    return deliver

@@ -1,0 +1,250 @@
+"""The Edge Network: Edge Routers, Row Adapters, Channel Adapters.
+
+Each side of the chip carries a 12-row x 3-column mesh of Edge Routers
+(Section II-B).  The network implements inter-node torus routing with a
+column-partitioned policy (Section III-B2, Figure 4):
+
+* The **outermost column** is reserved for intra-dimensional traffic —
+  packets that arrived from a channel and continue along the same torus
+  dimension.  The opposite directions of a dimension attach to adjacent
+  rows, so a through packet makes a single vertical hop.
+* The **two inner columns** carry everything else (packets injected from
+  the Core Network and packets turning between torus dimensions), chosen
+  per packet in a randomized fashion for load balance.
+
+Row Adapters (RA) join the Core Network to the inner column; Channel
+Adapters (CA) join the outer column to the SERDES channel slices and host
+the particle cache and INZ codecs (modeled for traffic accounting in
+:mod:`repro.fullsim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine.simulator import Simulator
+from ..topology.torus import DIRECTIONS, direction_name
+from .fabric import FabricError, Link, Router
+from .packet import Packet, RESPONSE_VC, TrafficClass, request_vc
+from .params import LatencyParams
+
+#: Row where each torus direction's Channel Adapter attaches (both edges).
+#: Opposite directions sit on adjacent rows (Figure 4).
+DIRECTION_ROWS: Dict[Tuple[int, int], int] = {
+    (0, +1): 0, (0, -1): 1,
+    (1, +1): 4, (1, -1): 5,
+    (2, +1): 8, (2, -1): 9,
+}
+
+OUTER_COL = 2
+INNER_COLS = (0, 1)
+
+
+def compact_direction_rows() -> Dict[Tuple[int, int], int]:
+    """Direction-row map for reduced-size test chips (rows >= 6)."""
+    return {direction: i for i, direction in enumerate(DIRECTIONS)}
+
+
+def edge_vc(packet: Packet) -> int:
+    """Edge-network VC for a packet (4 request VCs + 1 response VC)."""
+    if packet.traffic_class is TrafficClass.RESPONSE:
+        return RESPONSE_VC
+    return request_vc(packet, crossed_dateline=False)
+
+
+@dataclass
+class EdgeTarget:
+    """Routing plan for one packet's traversal of an Edge Network.
+
+    The packet first reaches ``via_col`` (horizontal moves), then travels
+    vertically to ``row``, then horizontally to ``exit_col``, and finally
+    leaves through ``exit_port``.
+    """
+
+    via_col: int
+    row: int
+    exit_col: int
+    exit_port: str
+
+
+class EdgeRouter(Router):
+    """One ERTR at (col, row) of an Edge Network."""
+
+    def __init__(self, sim: Simulator, name: str, col: int, row: int,
+                 params: LatencyParams) -> None:
+        super().__init__(sim, name)
+        self.col = col
+        self.row = row
+        self._params = params
+
+    def pipeline_ns(self, packet: Packet, in_port: str) -> float:
+        return self._params.cycles(self._params.edge_hop_cycles)
+
+    def route(self, packet: Packet, vc: int,
+              in_port: str) -> Tuple[str, str, Optional[int]]:
+        target: Optional[EdgeTarget] = getattr(packet, "edge_target", None)
+        if target is None:
+            raise FabricError(f"{self.name}: packet {packet.pid} has no "
+                              "edge target")
+        out_vc = edge_vc(packet)
+        # Phase 1: reach the via column before moving vertically.
+        if self.row != target.row:
+            if self.col != target.via_col:
+                return ("link",
+                        "E" if target.via_col > self.col else "W", out_vc)
+            return ("link", "N" if target.row > self.row else "S", out_vc)
+        # Phase 2: at the target row; go to the exit column, then out.
+        if self.col != target.exit_col:
+            return ("link",
+                    "E" if target.exit_col > self.col else "W", out_vc)
+        return ("link", target.exit_port, out_vc)
+
+
+class RowAdapter(Router):
+    """Connects one Core Network row to the Edge Network's inner column.
+
+    On the core-to-edge crossing the RA asks the chip to plan the packet's
+    path through the Edge Network (exit channel choice happens here).
+    """
+
+    def __init__(self, sim: Simulator, name: str, row: int,
+                 params: LatencyParams,
+                 plan_egress: Callable[[Packet], None]) -> None:
+        super().__init__(sim, name)
+        self.row = row
+        self._params = params
+        self._plan_egress = plan_egress
+
+    def pipeline_ns(self, packet: Packet, in_port: str) -> float:
+        return self._params.cycles(self._params.ra_cycles)
+
+    def route(self, packet: Packet, vc: int,
+              in_port: str) -> Tuple[str, str, Optional[int]]:
+        if in_port == "core":
+            self._plan_egress(packet)
+            return ("link", "edge", edge_vc(packet))
+        if in_port == "edge":
+            from .core_router import core_vc
+            return ("link", "core", core_vc(packet))
+        raise FabricError(f"{self.name}: unknown in_port {in_port}")
+
+
+class ChannelAdapter(Router):
+    """Joins the outer Edge Network column to one channel slice.
+
+    The CA hosts the particle cache and INZ codecs (bit-level effects are
+    accounted in :mod:`repro.fullsim`); in the flit simulator it charges
+    the encode/decode pipeline cycles and hands arriving packets to the
+    chip for ingress planning (continue, turn, or deliver).
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 direction: Tuple[int, int], slice_index: int,
+                 params: LatencyParams,
+                 plan_ingress: Callable[[Packet, Tuple[int, int]], str]) -> None:
+        super().__init__(sim, name)
+        self.direction = direction
+        self.slice_index = slice_index
+        self._params = params
+        self._plan_ingress = plan_ingress
+
+    def pipeline_ns(self, packet: Packet, in_port: str) -> float:
+        if in_port == "edge":
+            return self._params.cycles(self._params.ca_tx_cycles)
+        return self._params.cycles(self._params.ca_rx_cycles)
+
+    def route(self, packet: Packet, vc: int,
+              in_port: str) -> Tuple[str, str, Optional[int]]:
+        if in_port == "edge":
+            return ("link", "channel", edge_vc(packet))
+        if in_port == "channel":
+            disposition = self._plan_ingress(packet, self.direction)
+            if disposition == "fence":
+                return ("local", "fence", None)
+            return ("link", "edge", edge_vc(packet))
+        raise FabricError(f"{self.name}: unknown in_port {in_port}")
+
+
+class EdgeNetwork:
+    """One side's 3x12 mesh of Edge Routers with its RAs and CAs."""
+
+    def __init__(self, sim: Simulator, side: str, node_tag: str,
+                 params: LatencyParams, rows: int = 12,
+                 credit_flits: int = 8, vcs: int = 5,
+                 direction_rows: Optional[Dict[Tuple[int, int], int]] = None) -> None:
+        self._sim = sim
+        self.side = side
+        self.rows = rows
+        self._params = params
+        if direction_rows is None:
+            direction_rows = (DIRECTION_ROWS if rows >= 10
+                              else compact_direction_rows())
+        if max(direction_rows.values()) >= rows:
+            raise FabricError("direction rows do not fit this Edge Network")
+        self.direction_rows = dict(direction_rows)
+        self.routers: Dict[Tuple[int, int], EdgeRouter] = {}
+        for col in range(3):
+            for row in range(rows):
+                name = f"ertr{side}({col},{row})@{node_tag}"
+                self.routers[(col, row)] = EdgeRouter(sim, name, col, row,
+                                                      params)
+        ser = params.cycle_ns
+        for (col, row), router in self.routers.items():
+            for port, (ncol, nrow) in (("E", (col + 1, row)),
+                                       ("W", (col - 1, row)),
+                                       ("N", (col, row + 1)),
+                                       ("S", (col, row - 1))):
+                neighbor = self.routers.get((ncol, nrow))
+                if neighbor is None:
+                    continue
+                link = Link(sim, f"{router.name}->{port}", latency_ns=0.0,
+                            ser_ns_per_flit=ser, vcs=vcs,
+                            credit_flits=credit_flits,
+                            deliver=_edge_deliver(neighbor, port))
+                router.add_output(port, link)
+
+    def router(self, col: int, row: int) -> EdgeRouter:
+        return self.routers[(col, row)]
+
+    def attach_ra(self, row: int, ra: RowAdapter,
+                  vcs: int = 5, credit_flits: int = 8) -> None:
+        """Wire a Row Adapter to the inner column at ``row`` (both ways)."""
+        inner = self.routers[(0, row)]
+        params = self._params
+        to_edge = Link(self._sim, f"{ra.name}->edge", latency_ns=0.0,
+                       ser_ns_per_flit=params.cycle_ns, vcs=vcs,
+                       credit_flits=credit_flits,
+                       deliver=lambda p, v, l: inner.receive(p, v, "RA", l))
+        ra.add_output("edge", to_edge)
+        to_ra = Link(self._sim, f"{inner.name}->RA", latency_ns=0.0,
+                     ser_ns_per_flit=params.cycle_ns, vcs=vcs,
+                     credit_flits=credit_flits,
+                     deliver=lambda p, v, l: ra.receive(p, v, "edge", l))
+        inner.add_output("RA", to_ra)
+
+    def attach_ca(self, ca: ChannelAdapter,
+                  vcs: int = 5, credit_flits: int = 8) -> None:
+        """Wire a Channel Adapter to the outer column at its row."""
+        row = self.direction_rows[ca.direction]
+        outer = self.routers[(OUTER_COL, row)]
+        params = self._params
+        port = f"CA:{direction_name(ca.direction)}"
+        to_ca = Link(self._sim, f"{outer.name}->{port}", latency_ns=0.0,
+                     ser_ns_per_flit=params.cycle_ns, vcs=vcs,
+                     credit_flits=credit_flits,
+                     deliver=lambda p, v, l: ca.receive(p, v, "edge", l))
+        outer.add_output(port, to_ca)
+        to_edge = Link(self._sim, f"{ca.name}->edge", latency_ns=0.0,
+                       ser_ns_per_flit=params.cycle_ns, vcs=vcs,
+                       credit_flits=credit_flits,
+                       deliver=lambda p, v, l: outer.receive(p, v, "CA", l))
+        ca.add_output("edge", to_edge)
+
+
+def _edge_deliver(neighbor: EdgeRouter, direction: str):
+    opposite = {"E": "E", "W": "W", "N": "N", "S": "S"}[direction]
+
+    def deliver(packet: Packet, vc: int, link: Link) -> None:
+        neighbor.receive(packet, vc, opposite, link)
+    return deliver

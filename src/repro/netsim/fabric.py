@@ -1,0 +1,190 @@
+"""Links and the router base class for the flit-level simulator.
+
+A :class:`Link` models one physical connection (an on-chip mesh channel or
+an off-chip SERDES slice): it owns the serialization resource (one packet
+at a time, ``num_flits`` flit-times each) and a per-VC credit pool sized to
+the eight-flit input queues of the downstream router (Section III-B).
+
+A :class:`Router` receives packets on input ports, charges its pipeline
+latency, asks its subclass for a routing decision, and forwards on the
+chosen output link.  Flow control is credit-based virtual cut-through:
+a packet consumes downstream credits when it starts on a link and returns
+them when it leaves the downstream router's input queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..engine.simulator import Simulator
+from .packet import Packet
+
+
+class FabricError(RuntimeError):
+    """Raised on wiring or routing bugs."""
+
+
+@dataclass
+class _QueuedSend:
+    packet: Packet
+    vc: int
+    on_accept: Optional[Callable[[], None]]
+
+
+class Link:
+    """A point-to-point channel with credits and a serialization resource.
+
+    Attributes:
+        name: Debug name.
+        latency_ns: Propagation delay after serialization completes
+            (wire + SERDES for off-chip; 0 for on-chip).
+        ser_ns_per_flit: Serialization time per flit.
+        vcs: Number of virtual channels.
+        credit_flits: Input-queue depth per VC at the receiver.
+    """
+
+    def __init__(self, sim: Simulator, name: str, latency_ns: float,
+                 ser_ns_per_flit: float, vcs: int, credit_flits: int,
+                 deliver: Callable[[Packet, int, "Link"], None]) -> None:
+        self._sim = sim
+        self.name = name
+        self.latency_ns = latency_ns
+        self.ser_ns_per_flit = ser_ns_per_flit
+        self.vcs = vcs
+        self._credits = [credit_flits] * vcs
+        self._deliver = deliver
+        self._busy_until = 0.0
+        self._queue: Deque[_QueuedSend] = deque()
+        self.packets_sent = 0
+        self.flits_sent = 0
+        self.busy_ns = 0.0
+
+    def send(self, packet: Packet, vc: int,
+             on_accept: Optional[Callable[[], None]] = None) -> None:
+        """Queue ``packet`` for transmission on ``vc``."""
+        if not 0 <= vc < self.vcs:
+            raise FabricError(f"{self.name}: VC {vc} out of range")
+        self._queue.append(_QueuedSend(packet, vc, on_accept))
+        self._dispatch()
+
+    def return_credits(self, vc: int, flits: int) -> None:
+        """Downstream freed input-queue space; retry blocked sends."""
+        self._credits[vc] += flits
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        now = self._sim.now
+        while self._queue:
+            head = self._queue[0]
+            if self._credits[head.vc] < head.packet.num_flits:
+                return  # head-of-line blocked on credits
+            if self._busy_until > now:
+                # Channel busy: retry when it frees.
+                self._sim.at(self._busy_until, self._dispatch)
+                return
+            self._queue.popleft()
+            self._credits[head.vc] -= head.packet.num_flits
+            ser = head.packet.num_flits * self.ser_ns_per_flit
+            start = now
+            self._busy_until = start + ser
+            self.busy_ns += ser
+            self.packets_sent += 1
+            self.flits_sent += head.packet.num_flits
+            if head.on_accept is not None:
+                head.on_accept()
+            arrival = self._busy_until + self.latency_ns
+            packet, vc = head.packet, head.vc
+            self._sim.at(arrival, lambda p=packet, v=vc: self._deliver(
+                p, v, self))
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class _InputRecord:
+    """Tracks the upstream link owed credits for a buffered packet."""
+
+    link: Optional[Link]
+    vc: int
+    flits: int
+
+    def release(self) -> None:
+        if self.link is not None:
+            self.link.return_credits(self.vc, self.flits)
+            self.link = None
+
+
+class Router:
+    """Base class: pipeline delay, subclass routing, credit bookkeeping.
+
+    Subclasses implement :meth:`route` returning either
+    ``("link", out_port, out_vc)`` or ``("local", sink_name, None)``;
+    local sinks are registered callbacks (endpoint delivery).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self.name = name
+        self._out: Dict[str, Link] = {}
+        self._sinks: Dict[str, Callable[[Packet], None]] = {}
+        self.packets_routed = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def add_output(self, port: str, link: Link) -> None:
+        if port in self._out:
+            raise FabricError(f"{self.name}: duplicate output port {port}")
+        self._out[port] = link
+
+    def add_sink(self, port: str, handler: Callable[[Packet], None]) -> None:
+        if port in self._sinks:
+            raise FabricError(f"{self.name}: duplicate sink {port}")
+        self._sinks[port] = handler
+
+    def output(self, port: str) -> Link:
+        try:
+            return self._out[port]
+        except KeyError:
+            raise FabricError(
+                f"{self.name}: no output port {port!r}; "
+                f"have {sorted(self._out)}") from None
+
+    # -- pipeline ---------------------------------------------------------
+
+    def pipeline_ns(self, packet: Packet, in_port: str) -> float:
+        """Pipeline latency charged on arrival; subclasses override."""
+        return 0.0
+
+    def receive(self, packet: Packet, vc: int, in_port: str,
+                from_link: Optional[Link]) -> None:
+        """Entry point for packets from a link or local injection."""
+        record = _InputRecord(from_link, vc, packet.num_flits)
+        delay = self.pipeline_ns(packet, in_port)
+        self._sim.after(delay, lambda: self._forward(packet, vc, in_port,
+                                                     record))
+
+    def _forward(self, packet: Packet, vc: int, in_port: str,
+                 record: _InputRecord) -> None:
+        self.packets_routed += 1
+        packet.log_hop(f"{self.name}[{in_port}]")
+        target, port, out_vc = self.route(packet, vc, in_port)
+        if target == "local":
+            record.release()
+            handler = self._sinks.get(port)
+            if handler is None:
+                raise FabricError(f"{self.name}: no sink {port!r}")
+            handler(packet)
+            return
+        link = self.output(port)
+        link.send(packet, out_vc if out_vc is not None else vc,
+                  on_accept=record.release)
+
+    # -- routing (subclass responsibility) --------------------------------
+
+    def route(self, packet: Packet, vc: int,
+              in_port: str) -> Tuple[str, str, Optional[int]]:
+        raise NotImplementedError

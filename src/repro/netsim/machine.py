@@ -1,0 +1,161 @@
+"""A multi-node Anton 3 machine: chips wired into a 3D torus.
+
+:class:`NetworkMachine` builds one :class:`~repro.netsim.chip.ChipNetwork`
+per node and connects their Channel Adapters with SERDES channel links
+(two slices per neighbor, 8 lanes / 232 Gb/s each).  It provides the
+packet-level API used by the latency and fence experiments: counted
+writes, blocking reads, and raw packet injection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.simulator import Simulator
+from ..topology.torus import Coord, DIMENSION_ORDERS, DIRECTIONS, Torus3D
+from .chip import ChipNetwork, GcEndpoint
+from .fabric import Link
+from .packet import CoreAddress, Packet, PacketKind, TrafficClass
+from .params import DEFAULT_PARAMS, LatencyParams
+
+
+class NetworkMachine:
+    """A torus of simulated Anton 3 node networks."""
+
+    def __init__(self, dims: Sequence[int] = (2, 2, 2),
+                 params: LatencyParams = DEFAULT_PARAMS,
+                 chip_cols: int = 24, chip_rows: int = 12,
+                 seed: int = 0) -> None:
+        self.sim = Simulator()
+        self.torus = Torus3D(dims)
+        self.params = params
+        self.chip_cols = chip_cols
+        self.chip_rows = chip_rows
+        self.rng = random.Random(seed)
+        self.chips: Dict[Coord, ChipNetwork] = {}
+        for coord in self.torus.nodes():
+            self.chips[coord] = ChipNetwork(
+                self.sim, coord, self.torus, params=params,
+                cols=chip_cols, rows=chip_rows,
+                rng=random.Random((seed, coord).__hash__() & 0x7FFFFFFF))
+        self._wire_channels()
+
+    def _wire_channels(self) -> None:
+        params = self.params
+        for coord, chip in self.chips.items():
+            for axis, sign in DIRECTIONS:
+                neighbor_coord = self.torus.neighbor(coord, axis, sign)
+                neighbor = self.chips[neighbor_coord]
+                opposite = (axis, -sign)
+                for slice_index in (0, 1):
+                    ca_in = neighbor.channel_adapter(opposite, slice_index)
+                    link = Link(
+                        self.sim,
+                        f"chan{coord}->{neighbor_coord}[{axis},{sign}]s{slice_index}",
+                        latency_ns=params.channel_hop_ns,
+                        ser_ns_per_flit=params.flit_serialization_ns,
+                        vcs=5, credit_flits=8,
+                        deliver=lambda p, v, l, ca=ca_in: ca.receive(
+                            p, v, "channel", l))
+                    chip.attach_channel((axis, sign), slice_index, link)
+
+    # ------------------------------------------------------------------
+    # Endpoint access.
+    # ------------------------------------------------------------------
+
+    def chip(self, coord: Coord) -> ChipNetwork:
+        return self.chips[self.torus.normalize(coord)]
+
+    def gc(self, coord: Coord, address: CoreAddress) -> GcEndpoint:
+        return self.chip(coord).gc(address)
+
+    def random_gc_address(self, rng: Optional[random.Random] = None) -> CoreAddress:
+        rng = rng or self.rng
+        return CoreAddress(tile_u=rng.randrange(self.chip_cols),
+                           tile_v=rng.randrange(self.chip_rows),
+                           which=rng.randrange(2))
+
+    # ------------------------------------------------------------------
+    # Packet injection.
+    # ------------------------------------------------------------------
+
+    def make_request(self, kind: PacketKind, src_node: Coord,
+                     src_core: CoreAddress, dst_node: Coord,
+                     dst_core: CoreAddress, quad_addr: int = 0,
+                     payload_words: Tuple[int, ...] = (),
+                     num_flits: int = 1,
+                     accumulate: bool = False,
+                     dim_order: Optional[Tuple[int, int, int]] = None,
+                     slice_index: Optional[int] = None) -> Packet:
+        """Build a request packet with randomized minimal dimension order
+        and a random channel slice (oblivious routing, Section III-B2).
+        ``dim_order``/``slice_index`` pin the choices for experiments."""
+        if dim_order is None:
+            dim_order = self.rng.choice(DIMENSION_ORDERS)
+        if slice_index is None:
+            slice_index = self.rng.randrange(2)
+        return Packet(kind=kind, traffic_class=TrafficClass.REQUEST,
+                      src_node=self.torus.normalize(src_node),
+                      dst_node=self.torus.normalize(dst_node),
+                      src_core=src_core, dst_core=dst_core,
+                      num_flits=num_flits, payload_words=payload_words,
+                      dim_order=dim_order,
+                      slice_index=slice_index,
+                      quad_addr=quad_addr, accumulate=accumulate)
+
+    def send_counted_write(self, src_node: Coord, src_core: CoreAddress,
+                           dst_node: Coord, dst_core: CoreAddress,
+                           quad_addr: int = 0,
+                           words: Tuple[int, int, int, int] = (0, 0, 0, 0),
+                           accumulate: bool = False,
+                           slice_index: Optional[int] = None) -> Packet:
+        """Issue a 16-byte counted write from a GC (the ping-pong unit).
+
+        One quad (128 bits) fits a single flit's payload, so a counted
+        write is a one-flit packet.
+        """
+        packet = self.make_request(
+            PacketKind.COUNTED_WRITE, src_node, src_core, dst_node,
+            dst_core, quad_addr=quad_addr, payload_words=tuple(words),
+            num_flits=1, accumulate=accumulate, slice_index=slice_index)
+        self.chip(src_node).send(packet)
+        return packet
+
+    def send_remote_read(self, src_node: Coord, src_core: CoreAddress,
+                         dst_node: Coord, dst_core: CoreAddress,
+                         quad_addr: int, reply_quad: int = 0,
+                         slice_index: Optional[int] = None) -> Packet:
+        """Issue a remote read: a request packet to the target GC's SRAM,
+        answered by a two-flit response on the response traffic class
+        (XYZ-only, mesh-restricted — Section III-B2).
+
+        The read data arrives at the requester as a counted write to
+        ``reply_quad``, so software detects completion with a blocking
+        read of that quad (threshold 1).
+        """
+        packet = self.make_request(
+            PacketKind.READ_REQUEST, src_node, src_core, dst_node,
+            dst_core, quad_addr=quad_addr,
+            payload_words=(reply_quad,), num_flits=1,
+            slice_index=slice_index)
+        self.chip(src_node).send(packet)
+        return packet
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Machine-wide statistics.
+    # ------------------------------------------------------------------
+
+    def total_channel_flits(self) -> int:
+        """Flits that crossed any inter-node channel."""
+        total = 0
+        for chip in self.chips.values():
+            for ca in chip.channel_adapters.values():
+                link = ca._out.get("channel")
+                if link is not None:
+                    total += link.flits_sent
+        return total

@@ -1,0 +1,127 @@
+"""Network packets and flits — Section III-B of the paper.
+
+Anton 3 uses small, fixed-size packets of one or two flits; each flit is
+192 bits (a 64-bit header plus a 128-bit payload).  Packets belong to one
+of two traffic classes — requests and responses — which ride on disjoint
+virtual channels for protocol deadlock avoidance.  Request packets choose
+one of the six minimal dimension orders at injection time (oblivious
+randomized routing); response packets always follow XYZ order and treat
+the torus as a mesh.
+
+The simulator forwards whole packets (virtual cut-through: a router begins
+forwarding as soon as the header arrives) and charges serialization time
+per flit on every physical link.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..topology.torus import Coord
+
+FLIT_BITS = 192
+HEADER_BITS = 64
+PAYLOAD_BITS = 128
+
+
+class TrafficClass(enum.Enum):
+    """Protocol traffic classes (Section III-B2)."""
+
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+class PacketKind(enum.Enum):
+    """Application meaning of a packet."""
+
+    COUNTED_WRITE = "counted_write"
+    READ_REQUEST = "read_request"
+    READ_RESPONSE = "read_response"
+    POSITION = "position"
+    FORCE = "force"
+    FENCE = "fence"
+    MARKER = "marker"
+
+
+@dataclass(frozen=True)
+class CoreAddress:
+    """Location of an endpoint inside a chip.
+
+    Attributes:
+        tile_u: Core-tile column (0-23).
+        tile_v: Core-tile row (0-11).
+        which: Endpoint index within the tile (e.g. GC 0 or 1).
+    """
+
+    tile_u: int
+    tile_v: int
+    which: int = 0
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet in flight.
+
+    Mutable bookkeeping fields (timestamps, hop log) are filled in by the
+    simulator as the packet traverses the machine.
+    """
+
+    kind: PacketKind
+    traffic_class: TrafficClass
+    src_node: Coord
+    dst_node: Coord
+    src_core: CoreAddress
+    dst_core: CoreAddress
+    num_flits: int = 1
+    payload_words: Tuple[int, ...] = ()
+    dim_order: Tuple[int, int, int] = (0, 1, 2)
+    slice_index: int = 0
+    quad_addr: int = 0
+    accumulate: bool = False
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    # Bookkeeping.
+    injected_ns: Optional[float] = None
+    delivered_ns: Optional[float] = None
+    torus_hops_taken: int = 0
+    hop_log: List[str] = field(default_factory=list)
+    edge_target: Optional[object] = None  # set by the chip's planners
+
+    def __post_init__(self) -> None:
+        if self.num_flits not in (1, 2):
+            raise ValueError("Anton 3 packets are one or two flits")
+        if (self.traffic_class is TrafficClass.RESPONSE
+                and self.dim_order != (0, 1, 2)):
+            raise ValueError("response packets must use XYZ dimension order")
+
+    @property
+    def bits(self) -> int:
+        return self.num_flits * FLIT_BITS
+
+    @property
+    def latency_ns(self) -> float:
+        if self.injected_ns is None or self.delivered_ns is None:
+            raise RuntimeError("packet has not completed its journey")
+        return self.delivered_ns - self.injected_ns
+
+    def log_hop(self, where: str) -> None:
+        self.hop_log.append(where)
+
+
+def request_vc(packet: Packet, crossed_dateline: bool) -> int:
+    """Request-class VC assignment.
+
+    Four request VCs exist (Section III-B2).  We split them by channel
+    slice and dateline status — the standard torus deadlock-avoidance
+    scheme the paper's VC budget implies.
+    """
+    return 2 * (packet.slice_index % 2) + (1 if crossed_dateline else 0)
+
+
+RESPONSE_VC = 4  # the single response-class VC (Section III-B2)

@@ -1,0 +1,27 @@
+"""Counted-write / blocking-read synchronization (Section III-A)."""
+
+from .blocking_read import BlockingReadPort, BlockingReadRecord
+from .counted_write import CountedWriteMessage, deliver
+from .sram import (
+    COUNTER_BITS,
+    COUNTER_MOD,
+    QUAD_BYTES,
+    QUAD_WORDS,
+    Quad,
+    QuadSram,
+    SramError,
+)
+
+__all__ = [
+    "BlockingReadPort",
+    "BlockingReadRecord",
+    "CountedWriteMessage",
+    "deliver",
+    "COUNTER_BITS",
+    "COUNTER_MOD",
+    "QUAD_BYTES",
+    "QUAD_WORDS",
+    "Quad",
+    "QuadSram",
+    "SramError",
+]

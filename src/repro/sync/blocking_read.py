@@ -1,0 +1,86 @@
+"""Blocking reads against quad counters — Section III-A of the paper.
+
+A GC may issue a read of a local quad together with a counter threshold;
+the read stalls until the quad's counted-write counter reaches the
+threshold, then completes like a (high-latency) load.  This minimizes
+arrival-to-use latency: software handlers start running before all their
+input data has arrived and block exactly at the first use.
+
+:class:`BlockingReadPort` models one GC's load port in simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..engine.simulator import Simulator
+from .sram import QuadSram
+
+
+@dataclass
+class BlockingReadRecord:
+    """Completion record for one blocking read."""
+
+    quad_addr: int
+    threshold: int
+    issue_time: float
+    complete_time: Optional[float] = None
+    words: Optional[List[int]] = None
+
+    @property
+    def stall_ns(self) -> float:
+        if self.complete_time is None:
+            raise RuntimeError("read has not completed")
+        return self.complete_time - self.issue_time
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_time is not None
+
+
+class BlockingReadPort:
+    """Issues blocking reads for one GC against its local SRAM.
+
+    The port enforces the hardware property that a GC has a single
+    outstanding blocking read (the core stalls on it).
+    """
+
+    def __init__(self, sim: Simulator, sram: QuadSram,
+                 read_latency_ns: float = 0.0) -> None:
+        self._sim = sim
+        self._sram = sram
+        self._read_latency_ns = read_latency_ns
+        self._outstanding: Optional[BlockingReadRecord] = None
+        self.history: List[BlockingReadRecord] = []
+
+    @property
+    def stalled(self) -> bool:
+        return (self._outstanding is not None
+                and not self._outstanding.completed)
+
+    def issue(self, quad_addr: int, threshold: int,
+              on_complete: Callable[[BlockingReadRecord], None]) -> BlockingReadRecord:
+        """Issue a blocking read; ``on_complete`` fires when unstalled."""
+        if self.stalled:
+            raise RuntimeError("GC already stalled on a blocking read")
+        record = BlockingReadRecord(quad_addr=quad_addr, threshold=threshold,
+                                    issue_time=self._sim.now)
+        self._outstanding = record
+        self.history.append(record)
+
+        def complete() -> None:
+            def finish() -> None:
+                record.complete_time = self._sim.now
+                record.words = self._sram.read(quad_addr)
+                on_complete(record)
+
+            if self._read_latency_ns > 0:
+                self._sim.after(self._read_latency_ns, finish)
+            else:
+                finish()
+
+        already = self._sram.add_waiter(quad_addr, threshold, complete)
+        if already:
+            complete()
+        return record

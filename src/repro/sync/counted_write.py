@@ -1,0 +1,51 @@
+"""Counted remote-write messages — Section III-A of the paper.
+
+A counted write is a small request-class packet carrying one quad
+(16 bytes) that, on arrival at the destination SRAM, updates the quad and
+atomically increments its 8-bit counter.  Together with blocking reads it
+forms the fine-grained synchronization paradigm of the Anton machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .sram import QUAD_WORDS, QuadSram
+
+
+@dataclass(frozen=True)
+class CountedWriteMessage:
+    """A remote write of one quad with counter increment on delivery.
+
+    Attributes:
+        dst_node: Destination node coordinate in the torus.
+        dst_core: Destination GC index on the destination chip.
+        quad_addr: Destination quad address within the GC's SRAM.
+        words: The four 32-bit payload words.
+        accumulate: When True the write add-accumulates into the quad
+            (used for force summation during integration).
+        src_node: Source node coordinate (for response routing and stats).
+        src_core: Source GC index.
+    """
+
+    dst_node: Tuple[int, int, int]
+    dst_core: int
+    quad_addr: int
+    words: Tuple[int, int, int, int]
+    accumulate: bool = False
+    src_node: Optional[Tuple[int, int, int]] = None
+    src_core: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.words) != QUAD_WORDS:
+            raise ValueError("counted writes carry exactly one quad")
+
+    def payload_words(self) -> List[int]:
+        return [w & 0xFFFF_FFFF for w in self.words]
+
+
+def deliver(sram: QuadSram, message: CountedWriteMessage) -> None:
+    """Apply a counted write to its destination SRAM block."""
+    sram.counted_write(message.quad_addr, message.payload_words(),
+                       accumulate=message.accumulate)

@@ -1,0 +1,152 @@
+"""Quad-granular SRAM with per-quad hardware counters — Section III-A.
+
+Each Geometry Core pairs with a 128 KB globally addressable SRAM block.
+The memory is organized in *quads* (four 32-bit values); every quad has an
+associated 8-bit counter.  A *counted* remote write updates the quad data
+and atomically increments the counter; software detects data arrival by
+issuing a blocking read with a counter threshold.
+
+This model keeps the data as Python ints and the counters as wrapping
+8-bit values, and exposes the waiter hookup that the blocking-read model
+in :mod:`repro.sync.blocking_read` builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+QUAD_WORDS = 4
+WORD_BYTES = 4
+QUAD_BYTES = QUAD_WORDS * WORD_BYTES
+COUNTER_BITS = 8
+COUNTER_MOD = 1 << COUNTER_BITS
+
+
+class SramError(RuntimeError):
+    """Raised on out-of-range or misaligned SRAM access."""
+
+
+@dataclass
+class Quad:
+    """One 16-byte quad with its 8-bit counted-write counter."""
+
+    words: List[int] = field(default_factory=lambda: [0] * QUAD_WORDS)
+    counter: int = 0
+
+    def write(self, words: List[int], counted: bool) -> None:
+        if len(words) != QUAD_WORDS:
+            raise SramError(f"quad writes carry {QUAD_WORDS} words")
+        self.words = [w & 0xFFFF_FFFF for w in words]
+        if counted:
+            self.counter = (self.counter + 1) % COUNTER_MOD
+
+    def accumulate(self, words: List[int], counted: bool) -> None:
+        """Add-accumulate write used for force summation into quads."""
+        if len(words) != QUAD_WORDS:
+            raise SramError(f"quad writes carry {QUAD_WORDS} words")
+        self.words = [(a + b) & 0xFFFF_FFFF
+                      for a, b in zip(self.words, words)]
+        if counted:
+            self.counter = (self.counter + 1) % COUNTER_MOD
+
+
+class QuadSram:
+    """A block of quad-addressable SRAM (default 128 KB = 8192 quads)."""
+
+    def __init__(self, size_bytes: int = 128 * 1024) -> None:
+        if size_bytes % QUAD_BYTES:
+            raise SramError("SRAM size must be a whole number of quads")
+        self.num_quads = size_bytes // QUAD_BYTES
+        self.size_bytes = size_bytes
+        self._quads: Dict[int, Quad] = {}
+        # Waiters keyed by quad address: (threshold, callback).
+        self._waiters: Dict[int, List[Tuple[int, Callable[[], None]]]] = {}
+        self.counted_writes = 0
+        self.plain_writes = 0
+
+    def _check(self, quad_addr: int) -> None:
+        if not 0 <= quad_addr < self.num_quads:
+            raise SramError(
+                f"quad address {quad_addr} outside 0..{self.num_quads - 1}")
+
+    def quad(self, quad_addr: int) -> Quad:
+        self._check(quad_addr)
+        if quad_addr not in self._quads:
+            self._quads[quad_addr] = Quad()
+        return self._quads[quad_addr]
+
+    # -- reads ----------------------------------------------------------
+
+    def read(self, quad_addr: int) -> List[int]:
+        """Non-blocking read of a quad's four words."""
+        return list(self.quad(quad_addr).words)
+
+    def counter(self, quad_addr: int) -> int:
+        return self.quad(quad_addr).counter
+
+    # -- writes ---------------------------------------------------------
+
+    def write(self, quad_addr: int, words: List[int],
+              counted: bool = False, accumulate: bool = False) -> None:
+        """Write a quad; counted writes bump the quad counter and may
+        release blocked readers."""
+        quad = self.quad(quad_addr)
+        if accumulate:
+            quad.accumulate(words, counted)
+        else:
+            quad.write(words, counted)
+        if counted:
+            self.counted_writes += 1
+            self._release_waiters(quad_addr)
+        else:
+            self.plain_writes += 1
+
+    def counted_write(self, quad_addr: int, words: List[int],
+                      accumulate: bool = False) -> None:
+        self.write(quad_addr, words, counted=True, accumulate=accumulate)
+
+    # -- blocking-read support -------------------------------------------
+
+    def counter_reached(self, quad_addr: int, threshold: int) -> bool:
+        """Has the quad's counter reached ``threshold`` (mod-256 aware)?
+
+        The hardware compares an 8-bit counter against an 8-bit threshold;
+        software resets counters between uses, so a simple >= on the
+        wrapped value is the architected behavior.
+        """
+        return self.quad(quad_addr).counter >= (threshold % COUNTER_MOD)
+
+    def add_waiter(self, quad_addr: int, threshold: int,
+                   callback: Callable[[], None]) -> bool:
+        """Register a callback for when the counter reaches threshold.
+
+        Returns True (and does not register) if already satisfied.
+        """
+        if self.counter_reached(quad_addr, threshold):
+            return True
+        self._waiters.setdefault(quad_addr, []).append((threshold, callback))
+        return False
+
+    def _release_waiters(self, quad_addr: int) -> None:
+        waiters = self._waiters.get(quad_addr)
+        if not waiters:
+            return
+        still_blocked = []
+        for threshold, callback in waiters:
+            if self.counter_reached(quad_addr, threshold):
+                callback()
+            else:
+                still_blocked.append((threshold, callback))
+        if still_blocked:
+            self._waiters[quad_addr] = still_blocked
+        else:
+            del self._waiters[quad_addr]
+
+    def reset_counter(self, quad_addr: int) -> None:
+        """Software counter reset between synchronization rounds."""
+        self.quad(quad_addr).counter = 0
+
+    @property
+    def blocked_readers(self) -> int:
+        return sum(len(w) for w in self._waiters.values())

@@ -1,0 +1,22 @@
+"""Topology substrates: 3D torus (inter-node) and 2D mesh (on-chip)."""
+
+from .mesh import Mesh2D, MeshDims
+from .torus import (
+    AXIS_NAMES,
+    DIMENSION_ORDERS,
+    DIRECTIONS,
+    Torus3D,
+    TorusDims,
+    direction_name,
+)
+
+__all__ = [
+    "AXIS_NAMES",
+    "DIMENSION_ORDERS",
+    "DIRECTIONS",
+    "Mesh2D",
+    "MeshDims",
+    "Torus3D",
+    "TorusDims",
+    "direction_name",
+]

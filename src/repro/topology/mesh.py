@@ -1,0 +1,97 @@
+"""2D mesh helpers for the on-chip Core and Edge Networks.
+
+The Core Network is a 24x12 mesh of Core Routers using fixed U->V
+dimension-order routing (Section III-B1 of the paper); U is the horizontal
+(column) axis and V the vertical (row) axis.  The Edge Networks are 12x3
+meshes on each side of the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+MeshCoord = Tuple[int, int]  # (u, v)
+
+
+@dataclass(frozen=True)
+class MeshDims:
+    """Dimensions of a 2D mesh: ``u`` columns by ``v`` rows."""
+
+    u: int
+    v: int
+
+    def __post_init__(self) -> None:
+        if self.u < 1 or self.v < 1:
+            raise ValueError(f"mesh dims must be >= 1, got {self.u}x{self.v}")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.u * self.v
+
+
+class Mesh2D:
+    """A 2D mesh with U->V dimension-order routing."""
+
+    def __init__(self, u: int, v: int) -> None:
+        self.dims = MeshDims(u, v)
+
+    def contains(self, coord: MeshCoord) -> bool:
+        u, v = coord
+        return 0 <= u < self.dims.u and 0 <= v < self.dims.v
+
+    def nodes(self) -> Iterator[MeshCoord]:
+        for u in range(self.dims.u):
+            for v in range(self.dims.v):
+                yield (u, v)
+
+    def node_id(self, coord: MeshCoord) -> int:
+        self._check(coord)
+        u, v = coord
+        return u * self.dims.v + v
+
+    def coord_of(self, node_id: int) -> MeshCoord:
+        if not 0 <= node_id < self.dims.num_nodes:
+            raise ValueError(f"node id {node_id} out of range")
+        return (node_id // self.dims.v, node_id % self.dims.v)
+
+    def _check(self, coord: MeshCoord) -> None:
+        if not self.contains(coord):
+            raise ValueError(f"coordinate {coord} outside {self.dims}")
+
+    def neighbors(self, coord: MeshCoord) -> List[MeshCoord]:
+        self._check(coord)
+        u, v = coord
+        candidates = [(u + 1, v), (u - 1, v), (u, v + 1), (u, v - 1)]
+        return [c for c in candidates if self.contains(c)]
+
+    def hop_distance(self, a: MeshCoord, b: MeshCoord) -> int:
+        self._check(a)
+        self._check(b)
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def uv_route(self, src: MeshCoord, dst: MeshCoord) -> List[MeshCoord]:
+        """U->V dimension-order route from src to dst (inclusive).
+
+        Packets first travel along the U (column) axis, then along V, which
+        is the fixed order of the Core Network (Section III-B1).
+        """
+        self._check(src)
+        self._check(dst)
+        path = [src]
+        u, v = src
+        step = 1 if dst[0] > u else -1
+        while u != dst[0]:
+            u += step
+            path.append((u, v))
+        step = 1 if dst[1] > v else -1
+        while v != dst[1]:
+            v += step
+            path.append((u, v))
+        return path
+
+    def u_hops(self, src: MeshCoord, dst: MeshCoord) -> int:
+        return abs(src[0] - dst[0])
+
+    def v_hops(self, src: MeshCoord, dst: MeshCoord) -> int:
+        return abs(src[1] - dst[1])

@@ -1,0 +1,149 @@
+"""Tests for fits, the area model, activity traces, and report helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ActivityTrace,
+    AreaModel,
+    Comparison,
+    LinearFit,
+    comparison_table,
+    fit_latency_vs_hops,
+    format_table,
+    render_ascii,
+    trace_from_breakdowns,
+    within_band,
+)
+from repro.fullsim.timestep import TimestepBreakdown
+from repro.fullsim.traffic import StepTraffic
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        points = {h: 55.9 + 34.2 * h for h in range(1, 9)}
+        fit = fit_latency_vs_hops(points)
+        assert fit.fixed_ns == pytest.approx(55.9)
+        assert fit.per_hop_ns == pytest.approx(34.2)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_zero_hop_excluded_by_default(self):
+        points = {0: 20.0}
+        points.update({h: 50.0 + 30.0 * h for h in range(1, 5)})
+        fit = fit_latency_vs_hops(points)
+        assert fit.fixed_ns == pytest.approx(50.0)
+
+    def test_predict(self):
+        fit = LinearFit(fixed_ns=10.0, per_hop_ns=5.0, r_squared=1.0)
+        assert fit.predict(4) == 30.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_latency_vs_hops({1: 10.0})
+
+
+class TestAreaModel:
+    def test_table2_matches_paper(self):
+        model = AreaModel()
+        rows = {r.name: r for r in model.component_rows()}
+        assert rows["Core Routers"].percent_of_die == pytest.approx(9.4)
+        assert rows["Edge Routers"].percent_of_die == pytest.approx(1.4)
+        assert rows["Channel Adapters"].percent_of_die == pytest.approx(2.8)
+        assert rows["Row Adapters"].percent_of_die == pytest.approx(0.5)
+        assert model.network_total_percent() == pytest.approx(14.1, abs=0.05)
+
+    def test_table3_matches_paper(self):
+        model = AreaModel()
+        rows = {r.name: r for r in model.feature_rows()}
+        assert rows["Particle Cache"].percent_of_die == pytest.approx(1.6)
+        assert rows["Network Fence"].percent_of_die == pytest.approx(0.2)
+        assert model.feature_total_percent() == pytest.approx(1.8, abs=0.01)
+
+    def test_component_counts_match_paper(self):
+        model = AreaModel()
+        counts = {r.name: r.count for r in model.component_rows()}
+        assert counts == {"Core Routers": 288, "Edge Routers": 72,
+                          "Channel Adapters": 24, "Row Adapters": 72}
+
+    def test_pcache_scaling(self):
+        doubled = AreaModel(pcache_entries=2048)
+        base = AreaModel()
+        rows_d = {r.name: r for r in doubled.feature_rows()}
+        rows_b = {r.name: r for r in base.feature_rows()}
+        assert rows_d["Particle Cache"].percent_of_die == pytest.approx(
+            2 * rows_b["Particle Cache"].percent_of_die)
+        # CA area grows by the extra pcache SRAM.
+        ca_d = {r.name: r for r in doubled.component_rows()}
+        ca_b = {r.name: r for r in base.component_rows()}
+        assert (ca_d["Channel Adapters"].area_mm2
+                > ca_b["Channel Adapters"].area_mm2)
+
+    def test_fence_counter_scaling(self):
+        halved = AreaModel(fence_counters_per_edge_input=48)
+        rows = {r.name: r for r in halved.feature_rows()}
+        assert rows["Network Fence"].percent_of_die == pytest.approx(0.1)
+
+
+class TestActivityTrace:
+    def make_trace(self):
+        trace = ActivityTrace(components=["a", "b"])
+        trace.add("a", 0.0, 10.0)
+        trace.add("b", 5.0, 15.0)
+        return trace
+
+    def test_utilization(self):
+        trace = self.make_trace()
+        assert trace.utilization("a", 0.0, 10.0) == pytest.approx(1.0)
+        assert trace.utilization("a", 0.0, 20.0) == pytest.approx(0.5)
+        assert trace.utilization("b", 0.0, 10.0) == pytest.approx(0.5)
+        assert trace.utilization("a", 50.0, 60.0) == 0.0
+
+    def test_validation(self):
+        trace = self.make_trace()
+        with pytest.raises(ValueError):
+            trace.add("c", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            trace.add("a", 5.0, 1.0)
+
+    def test_trace_from_breakdowns(self):
+        breakdown = TimestepBreakdown(
+            channel_ns=100.0, ppim_ns=30.0, integration_ns=10.0,
+            sync_ns=5.0, pipeline_fill_ns=2.0)
+        traffic = StepTraffic(position_bits=600, force_bits=400)
+        trace = trace_from_breakdowns([breakdown], [traffic])
+        # Position window is 60% of the channel window.
+        assert trace.utilization("channel:positions", 2.0, 62.0) == \
+            pytest.approx(1.0)
+        assert trace.utilization("channel:forces", 62.0, 102.0) == \
+            pytest.approx(1.0)
+        assert trace.end_ns == pytest.approx(breakdown.total_ns)
+
+    def test_render_ascii_shape(self):
+        trace = self.make_trace()
+        text = render_ascii(trace, bins=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # header + rule + 10 bins
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_render_validates_bins(self):
+        with pytest.raises(ValueError):
+            render_ascii(self.make_trace(), bins=0)
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(("x", "yy"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("x")
+
+    def test_comparison(self):
+        c = Comparison("latency", measured=55.0, published=55.9, unit="ns")
+        assert c.ratio == pytest.approx(55.0 / 55.9)
+        text = comparison_table([c], title="Fig 5")
+        assert "Fig 5" in text and "latency" in text
+
+    def test_within_band(self):
+        assert within_band(0.35, (0.32, 0.40))
+        assert not within_band(0.5, (0.32, 0.40))
+        assert within_band(0.42, (0.32, 0.40), slack=0.05)

@@ -1,0 +1,95 @@
+"""Tests for the published machine constants (Table I and Section II)."""
+
+import pytest
+
+from repro.config import (
+    ASIC_GENERATIONS,
+    DEFAULT_CHIP,
+    DEFAULT_MACHINE,
+    ChipConfig,
+    MachineConfig,
+)
+
+
+class TestTableOne:
+    def test_three_generations(self):
+        assert set(ASIC_GENERATIONS) == {"anton1", "anton2", "anton3"}
+
+    def test_anton3_column(self):
+        a3 = ASIC_GENERATIONS["anton3"]
+        assert a3.power_on_year == 2020
+        assert a3.process_nm == 7
+        assert a3.clock_ghz == 2.80
+        assert a3.max_pairwise_gops == 5914.0
+        assert a3.num_serdes == 96
+        assert a3.serdes_lane_gbps == 29.0
+        assert a3.inter_node_bidir_gbs == 696.0
+
+    def test_compute_scaling_24x(self):
+        """The paper's motivation: ~24x compute vs 2.1x bandwidth."""
+        a2 = ASIC_GENERATIONS["anton2"]
+        a3 = ASIC_GENERATIONS["anton3"]
+        compute_ratio = a3.max_pairwise_gops / a2.max_pairwise_gops
+        bandwidth_ratio = a3.inter_node_bidir_gbs / a2.inter_node_bidir_gbs
+        assert compute_ratio == pytest.approx(23.6, abs=0.2)
+        assert bandwidth_ratio == pytest.approx(2.07, abs=0.05)
+
+
+class TestChipConfig:
+    def test_tile_counts(self):
+        chip = DEFAULT_CHIP
+        assert chip.num_core_routers == 288      # 24 x 12 (Table II)
+        assert chip.num_edge_routers == 72       # 2 sides x 12 x 3
+        assert chip.num_channel_adapters == 24   # Table II
+        assert chip.num_row_adapters == 72       # Table II
+        assert chip.num_gcs == 576
+        assert chip.num_ppims == 576
+        assert chip.num_icbs == 48
+
+    def test_cycle_time(self):
+        assert DEFAULT_CHIP.cycle_ns == pytest.approx(1 / 2.8)
+
+    def test_edge_vcs_total_five(self):
+        # 4 request VCs + 1 response VC (Section III-B2).
+        assert DEFAULT_CHIP.edge_vcs == 5
+
+    def test_neighbor_bandwidth(self):
+        # 16 lanes x 29 Gb/s = 464 Gb/s per direction per neighbor.
+        assert DEFAULT_CHIP.neighbor_bandwidth_gbps == pytest.approx(464.0)
+
+    def test_total_bandwidth_5_6_tbps(self):
+        # Section II-B: 96 lanes at 29 Gb/s -> 5.6 Tb/s (bidirectional...
+        # counting both directions of each lane).
+        chip = DEFAULT_CHIP
+        total = chip.serdes_lanes * chip.lane_gbps * 2
+        assert total == pytest.approx(5568.0)  # ~5.6 Tb/s
+
+    def test_serialization_time(self):
+        chip = DEFAULT_CHIP
+        # A 192-bit flit over one 464 Gb/s neighbor channel.
+        assert chip.bits_to_channel_ns(192) == pytest.approx(0.4138, abs=1e-3)
+
+    def test_packet_format(self):
+        chip = DEFAULT_CHIP
+        assert chip.flit_bits == 192
+        assert chip.header_bits + chip.payload_bits == chip.flit_bits
+        assert chip.max_flits_per_packet == 2
+        assert chip.input_queue_flits == 8
+
+
+class TestMachineConfig:
+    def test_default_is_papers_128_node_machine(self):
+        assert DEFAULT_MACHINE.dims == (4, 4, 8)
+        assert DEFAULT_MACHINE.num_nodes == 128
+        assert DEFAULT_MACHINE.diameter_hops == 8  # Fig. 11's global barrier
+
+    def test_512_node_scaling(self):
+        machine = DEFAULT_MACHINE.scaled((8, 8, 8))
+        assert machine.num_nodes == 512
+        assert machine.chip is DEFAULT_MACHINE.chip
+
+    def test_8_node_benchmark_machine(self):
+        # Fig. 9 uses a 2x2x2 machine.
+        machine = MachineConfig(dims=(2, 2, 2))
+        assert machine.num_nodes == 8
+        assert machine.diameter_hops == 3

@@ -1,0 +1,124 @@
+"""Tests for spatial decomposition, export regions, and multicast trees."""
+
+import numpy as np
+import pytest
+
+from repro.md import Decomposition, multicast_tree, unicast_path, water_box
+from repro.topology import Torus3D
+
+
+@pytest.fixture
+def decomp():
+    return Decomposition(box=60.0, node_dims=(2, 2, 2))
+
+
+class TestHomeNodes:
+    def test_every_atom_has_a_home(self, decomp):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 60.0, size=(500, 3))
+        homes = decomp.home_nodes(pos)
+        assert np.all((homes >= 0) & (homes < 8))
+
+    def test_home_matches_geometry(self, decomp):
+        pos = np.array([[10.0, 10.0, 10.0],    # node (0,0,0)
+                        [40.0, 10.0, 10.0],    # node (1,0,0)
+                        [40.0, 40.0, 40.0]])   # node (1,1,1)
+        homes = decomp.home_nodes(pos)
+        torus = decomp.torus
+        assert homes[0] == torus.node_id((0, 0, 0))
+        assert homes[1] == torus.node_id((1, 0, 0))
+        assert homes[2] == torus.node_id((1, 1, 1))
+
+    def test_boundary_positions_clamped(self, decomp):
+        pos = np.array([[60.0, 60.0, 60.0]])  # wraps to origin
+        assert decomp.home_nodes(pos)[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Decomposition(box=-1.0, node_dims=(2, 2, 2))
+        with pytest.raises(ValueError):
+            Decomposition(box=10.0, node_dims=(0, 2, 2))
+
+
+class TestExportRegions:
+    def test_interior_atom_not_exported(self, decomp):
+        # Dead center of node (0,0,0)'s box, farther than the cutoff from
+        # every face.
+        pos = np.array([[15.0, 15.0, 15.0]])
+        exports = decomp.export_map(pos, cutoff=5.0)
+        total = sum(len(v) for v in exports.values())
+        assert total == 0
+
+    def test_face_atom_exported_to_neighbor(self, decomp):
+        # 1 A from the x=30 face inside node (0,..): node (1,0,0) must
+        # import it.
+        pos = np.array([[29.0, 15.0, 15.0]])
+        exports = decomp.export_map(pos, cutoff=5.0)
+        importer = decomp.torus.node_id((1, 0, 0))
+        assert 0 in exports[importer]
+
+    def test_corner_atom_exported_widely(self, decomp):
+        # Near the corner of its box: all 7 other nodes import it
+        # (in a 2x2x2, every node is a face/edge/corner neighbor).
+        pos = np.array([[29.5, 29.5, 29.5]])
+        exports = decomp.export_map(pos, cutoff=5.0)
+        importers = [n for n, atoms in exports.items() if len(atoms)]
+        assert len(importers) == 7
+
+    def test_never_exported_to_own_home(self, decomp):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 60.0, size=(400, 3))
+        homes = decomp.home_nodes(pos)
+        exports = decomp.export_map(pos, cutoff=6.0)
+        for node_id, atoms in exports.items():
+            assert not np.any(homes[atoms] == node_id)
+
+    def test_periodic_export_across_boundary(self, decomp):
+        # Near x=0: node (1,..) imports it through the wraparound.
+        pos = np.array([[1.0, 15.0, 15.0]])
+        exports = decomp.export_map(pos, cutoff=5.0)
+        importer = decomp.torus.node_id((1, 0, 0))
+        assert 0 in exports[importer]
+
+    def test_export_completeness_for_interacting_pairs(self):
+        """Soundness: for every pair within the cutoff spanning two nodes,
+        at least one atom is available on the other's home node."""
+        decomp = Decomposition(box=40.0, node_dims=(2, 2, 2))
+        system = water_box(600, seed=3)
+        pos = system.positions * (40.0 / system.box)
+        cutoff = 4.0
+        homes = decomp.home_nodes(pos)
+        exports = decomp.export_map(pos, cutoff)
+        from repro.md.cells import neighbor_pairs
+        ii, jj = neighbor_pairs(pos, 40.0, cutoff)
+        for a, b in zip(ii, jj):
+            if homes[a] == homes[b]:
+                continue
+            a_at_b = a in exports[homes[b]]
+            b_at_a = b in exports[homes[a]]
+            assert a_at_b or b_at_a, f"pair ({a},{b}) computable nowhere"
+
+
+class TestMulticastTrees:
+    def test_single_destination_is_a_path(self):
+        torus = Torus3D((4, 4, 4))
+        tree = multicast_tree(torus, (0, 0, 0), [(2, 0, 0)])
+        assert tree == {((0, 0, 0), (1, 0, 0)), ((1, 0, 0), (2, 0, 0))}
+
+    def test_shared_prefix_charged_once(self):
+        torus = Torus3D((4, 4, 4))
+        tree = multicast_tree(torus, (0, 0, 0), [(2, 0, 0), (2, 1, 0)])
+        # Without sharing: 2 + 3 = 5 channels; the two X hops are shared,
+        # so the tree has 3.
+        assert len(tree) == 3
+
+    def test_empty_destinations(self):
+        torus = Torus3D((2, 2, 2))
+        assert multicast_tree(torus, (0, 0, 0), []) == set()
+
+    def test_unicast_path_adjacent_channels(self):
+        torus = Torus3D((4, 4, 4))
+        path = unicast_path(torus, (0, 0, 0), (1, 2, 3))
+        assert len(path) == torus.min_hops((0, 0, 0), (1, 2, 3))
+        for a, b in path:
+            assert torus.min_hops(a, b) == 1

@@ -1,0 +1,139 @@
+"""Unit tests for statistics accumulators."""
+
+import math
+
+import pytest
+
+from repro.engine import Counter, Histogram, StatsRegistry, Summary, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero_and_adds(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestSummary:
+    def test_mean_min_max(self):
+        s = Summary()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.observe(v)
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.count == 4
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Summary().mean)
+
+    def test_variance_matches_numpy(self):
+        import numpy as np
+
+        values = [1.0, 5.0, 2.0, 8.0, 7.0, 7.0]
+        s = Summary()
+        for v in values:
+            s.observe(v)
+        assert s.variance == pytest.approx(np.var(values, ddof=1))
+        assert s.stddev == pytest.approx(np.std(values, ddof=1))
+
+    def test_merge_equals_combined_stream(self):
+        a, b, c = Summary(), Summary(), Summary()
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+            c.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+            c.observe(v)
+        a.merge(b)
+        assert a.count == c.count
+        assert a.mean == pytest.approx(c.mean)
+        assert a.variance == pytest.approx(c.variance)
+        assert a.min == c.min and a.max == c.max
+
+    def test_merge_into_empty(self):
+        a, b = Summary(), Summary()
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 5.0
+
+
+class TestHistogram:
+    def test_bins_and_overflow(self):
+        h = Histogram(0.0, 10.0, 5)
+        for v in (0.5, 2.5, 2.6, 9.9, -1.0, 10.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 0, 0, 1]
+        assert h.underflow == 1
+        assert h.overflow == 2
+        assert h.total == 7
+
+    def test_bin_edges(self):
+        h = Histogram(0.0, 1.0, 4)
+        assert h.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+
+class TestTimeSeries:
+    def test_record_and_window_mean(self):
+        ts = TimeSeries()
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+            ts.record(t, v)
+        assert ts.window_mean(0.0, 1.5) == pytest.approx(2.0)
+        assert ts.window_mean(5.0, 6.0) == 0.0
+
+    def test_rejects_decreasing_time(self):
+        ts = TimeSeries()
+        ts.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(0.5, 2.0)
+
+    def test_rebin(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        bins = ts.rebin(0.0, 10.0, 2)
+        assert bins == pytest.approx([2.0, 7.0])
+
+    def test_rebin_validates(self):
+        with pytest.raises(ValueError):
+            TimeSeries().rebin(0.0, 1.0, 0)
+
+
+class TestStatsRegistry:
+    def test_counter_identity(self):
+        reg = StatsRegistry()
+        reg.counter("a").add(2)
+        reg.counter("a").add(3)
+        assert reg.counter_values() == {"a": 5}
+
+    def test_series_and_summary_namespaces(self):
+        reg = StatsRegistry()
+        reg.summary("lat").observe(1.0)
+        reg.series("act").record(0.0, 1.0)
+        assert reg.summary("lat").count == 1
+        assert len(reg.series("act")) == 1
+
+    def test_reset(self):
+        reg = StatsRegistry()
+        reg.counter("a").add(2)
+        reg.summary("s").observe(1.0)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        assert reg.summary("s").count == 0

@@ -1,0 +1,147 @@
+"""Tests for the finite-difference position extrapolator — Section IV-B2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ORDER_CONSTANT,
+    ORDER_LINEAR,
+    ORDER_QUADRATIC,
+    CoordinatePredictor,
+    PositionPredictor,
+    saturate,
+    wrap_i32,
+)
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestWrapAndSaturate:
+    def test_wrap_identity_in_range(self):
+        assert wrap_i32(123) == 123
+        assert wrap_i32(-123) == -123
+
+    def test_wrap_overflow(self):
+        assert wrap_i32(2**31) == -(2**31)
+        assert wrap_i32(-(2**31) - 1) == 2**31 - 1
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_wrap_is_mod_2_32(self, value):
+        assert (wrap_i32(value) - value) % (2**32) == 0
+        assert -(2**31) <= wrap_i32(value) < 2**31
+
+    def test_saturate_clamps(self):
+        assert saturate(5000, 12) == 2047
+        assert saturate(-5000, 12) == -2048
+        assert saturate(100, 12) == 100
+
+
+class TestPredictorRamp:
+    """A fresh entry ramps constant -> linear -> quadratic automatically."""
+
+    def test_fresh_predicts_constant(self):
+        p = CoordinatePredictor(d0=1000)
+        assert p.predict() == 1000
+
+    def test_after_one_update_predicts_linear(self):
+        p = CoordinatePredictor(d0=1000)
+        p.update(1010)  # velocity 10
+        # D0=1010, D1=10, D2=10 -> predict 1030?  No: D2 = x - D0old - D1old
+        # = 1010 - 1000 - 0 = 10.  The ramp reaches exact-linear next step.
+        assert p.predict() == 1030
+
+    def test_quadratic_sequence_predicted_exactly(self):
+        p = CoordinatePredictor(d0=0)
+        xs = [t * t for t in range(10)]  # quadratic trajectory
+        p = CoordinatePredictor(d0=xs[0])
+        for x in xs[1:4]:
+            p.update(x)
+        # After three observed points, every further point is exact.
+        for t in range(4, 10):
+            assert p.predict() == xs[t]
+            p.update(xs[t])
+
+    def test_linear_sequence_predicted_exactly_by_linear_order(self):
+        p = CoordinatePredictor(d0=0, order=ORDER_LINEAR)
+        for t in range(1, 4):
+            p.update(10 * t)
+        for t in range(4, 8):
+            assert p.predict() == 10 * t
+            p.update(10 * t)
+
+    def test_constant_order_predicts_last_value(self):
+        p = CoordinatePredictor(d0=5, order=ORDER_CONSTANT)
+        p.update(8)
+        assert p.predict() == 8
+
+    def test_paper_identity_three_point_form(self):
+        """x_hat[t] = 3x[t-1] - 3x[t-2] + x[t-3] (the paper's closed form)."""
+        history = [100, 130, 170]  # x[t-3], x[t-2], x[t-1]
+        p = CoordinatePredictor(d0=history[0])
+        p.update(history[1])
+        p.update(history[2])
+        expected = 3 * history[2] - 3 * history[1] + history[0]
+        assert p.predict() == expected
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatePredictor(d0=0, order=7)
+
+
+class TestResidualReconstruction:
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_residual_plus_prediction_recovers_actual(self, xs):
+        p = CoordinatePredictor(d0=xs[0])
+        q = CoordinatePredictor(d0=xs[0])
+        for x in xs[1:]:
+            residual = p.residual(x)
+            reconstructed = wrap_i32(q.predict() + residual)
+            assert reconstructed == wrap_i32(x)
+            p.update(x)
+            q.update(reconstructed)
+            assert p.state() == q.state()
+
+    @given(st.lists(i32, min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_mirror_even_with_saturation(self, xs):
+        """Saturated 12-bit difference storage never desyncs the mirror."""
+        p = CoordinatePredictor(d0=xs[0], delta_bits=12)
+        q = CoordinatePredictor(d0=xs[0], delta_bits=12)
+        for x in xs[1:]:
+            residual = p.residual(x)
+            reconstructed = wrap_i32(q.predict() + residual)
+            assert reconstructed == wrap_i32(x)
+            p.update(x)
+            q.update(reconstructed)
+            assert p.state() == q.state()
+
+    def test_smooth_trajectory_residuals_small(self):
+        """MD-like smooth paths give residuals much smaller than values."""
+        p = CoordinatePredictor(d0=10_000_000)
+        xs = [10_000_000 + 250 * t + t * t // 2 for t in range(1, 30)]
+        residuals = []
+        for x in xs:
+            residuals.append(abs(p.residual(x)))
+            p.update(x)
+        # After the ramp, residuals collapse to near zero.
+        assert max(residuals[3:]) <= 2
+
+
+class TestPositionPredictor:
+    def test_fresh_state(self):
+        p = PositionPredictor.fresh((1, 2, 3))
+        assert p.predict() == (1, 2, 3)
+        assert p.state() == ((1, 0, 0), (2, 0, 0), (3, 0, 0))
+
+    def test_axes_are_independent(self):
+        p = PositionPredictor.fresh((0, 100, -100))
+        p.update((10, 100, -110))
+        assert p.x.d1 == 10
+        assert p.y.d1 == 0
+        assert p.z.d1 == -10
+
+    def test_residual_vector(self):
+        p = PositionPredictor.fresh((0, 0, 0))
+        assert p.residual((3, -4, 5)) == (3, -4, 5)

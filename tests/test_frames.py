@@ -1,0 +1,132 @@
+"""Tests for channel-frame packing (Section IV-A, dense byte packing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ChannelAccounting,
+    FrameConfig,
+    FrameItem,
+    KIND_COMPRESSED,
+    KIND_FENCE,
+    KIND_FULL,
+    KIND_MARKER,
+    chunk_into_frames,
+    deserialize,
+    serialize,
+)
+from repro.compression.frames import HEADER_BYTES
+
+
+def item_with_header(kind, payload):
+    header = bytes(range(HEADER_BYTES[kind]))
+    return FrameItem(kind, payload), header
+
+
+class TestFrameItem:
+    def test_wire_bytes(self):
+        item = FrameItem(KIND_FULL, b"\x01\x02\x03")
+        assert item.wire_bytes == 1 + 8 + 3
+
+    def test_compressed_header_smaller_than_full(self):
+        assert HEADER_BYTES[KIND_COMPRESSED] < HEADER_BYTES[KIND_FULL]
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FrameItem(9, b"")
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ValueError):
+            FrameItem(KIND_FULL, bytes(32))
+
+
+class TestSerializeRoundtrip:
+    def test_simple_roundtrip(self):
+        pairs = [item_with_header(KIND_FULL, b"\x10" * 16),
+                 item_with_header(KIND_COMPRESSED, b"\x07\x09"),
+                 item_with_header(KIND_MARKER, b""),
+                 item_with_header(KIND_FENCE, b"")]
+        items, headers = zip(*pairs)
+        stream = serialize(items, headers)
+        out = deserialize(stream)
+        assert [i for i, __ in out] == list(items)
+        assert [h for __, h in out] == list(headers)
+
+    def test_empty_stream(self):
+        assert serialize([], []) == b""
+        assert deserialize(b"") == []
+
+    def test_header_length_enforced(self):
+        with pytest.raises(ValueError):
+            serialize([FrameItem(KIND_FULL, b"")], [b"\x00"])
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            serialize([FrameItem(KIND_MARKER, b"")], [])
+
+    def test_truncated_stream_detected(self):
+        item, header = item_with_header(KIND_FULL, b"\xAA" * 8)
+        stream = serialize([item], [header])
+        with pytest.raises(ValueError):
+            deserialize(stream[:-1])
+
+    @given(st.lists(st.tuples(
+        st.sampled_from([KIND_FULL, KIND_COMPRESSED, KIND_MARKER, KIND_FENCE]),
+        st.binary(min_size=0, max_size=16)), max_size=40))
+    @settings(max_examples=100)
+    def test_roundtrip_random_streams(self, spec):
+        pairs = [item_with_header(kind, payload) for kind, payload in spec]
+        items = [i for i, __ in pairs]
+        headers = [h for __, h in pairs]
+        assert deserialize(serialize(items, headers)) == pairs
+
+
+class TestFrameChunking:
+    def test_exact_multiple(self):
+        config = FrameConfig(frame_bytes=64)
+        frames = chunk_into_frames(bytes(128), config)
+        assert len(frames) == 2
+        assert all(len(f) == 64 for f in frames)
+
+    def test_padding_last_frame(self):
+        config = FrameConfig(frame_bytes=64)
+        frames = chunk_into_frames(bytes(range(70)), config)
+        assert len(frames) == 2
+        assert frames[1][6:] == bytes(58)
+
+    def test_empty_stream_no_frames(self):
+        assert chunk_into_frames(b"", FrameConfig()) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FrameConfig(frame_bytes=8)
+
+
+class TestChannelAccounting:
+    def test_bits_accumulate(self):
+        acct = ChannelAccounting(config=FrameConfig(frame_bytes=64))
+        acct.add(FrameItem(KIND_FULL, bytes(16)))      # 1 + 8 + 16 = 25
+        acct.add(FrameItem(KIND_COMPRESSED, bytes(2)))  # 1 + 3 + 2 = 6
+        assert acct.payload_bytes == 31
+        assert acct.bits == 248
+        assert acct.items == 2
+
+    def test_frame_count_rounds_up(self):
+        acct = ChannelAccounting(config=FrameConfig(frame_bytes=64))
+        acct.add(FrameItem(KIND_FULL, bytes(16)))
+        assert acct.frames == 1
+        for __ in range(3):
+            acct.add(FrameItem(KIND_FULL, bytes(16)))
+        assert acct.frames == 2
+
+    def test_utilization(self):
+        acct = ChannelAccounting(config=FrameConfig(frame_bytes=100))
+        assert acct.utilization == 0.0
+        acct.add(FrameItem(KIND_COMPRESSED, bytes(6)))  # 10 bytes
+        assert acct.utilization == pytest.approx(0.10)
+
+    def test_add_items(self):
+        acct = ChannelAccounting()
+        acct.add_items(FrameItem(KIND_MARKER, b"") for __ in range(5))
+        assert acct.items == 5

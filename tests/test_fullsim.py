@@ -1,0 +1,146 @@
+"""Tests for the full-system traffic and time-step models."""
+
+import numpy as np
+import pytest
+
+from repro.fullsim import (
+    BASELINE,
+    FULL,
+    INZ_ONLY,
+    TimestepModel,
+    TimestepParams,
+    TrafficModel,
+    compare_configurations,
+    evaluate_system,
+    water_benchmark,
+)
+from repro.md import Decomposition, MdEngine
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    engine = MdEngine.water(2048, seed=2)
+    snapshots = engine.run(6)
+    decomp = Decomposition(box=engine.system.box, node_dims=(2, 2, 2))
+    return engine, snapshots, decomp
+
+
+class TestTrafficModel:
+    def test_baseline_bits_are_full_packets(self, small_run):
+        engine, snapshots, decomp = small_run
+        model = TrafficModel(decomp, BASELINE, engine.field.cutoff)
+        traffic = model.process_step(snapshots[0])
+        packets = traffic.position_packets + traffic.force_packets
+        # Every packet: descriptor + 8B header + 16B payload = 200 bits.
+        assert traffic.position_bits + traffic.force_bits == packets * 200
+
+    def test_inz_strictly_smaller(self, small_run):
+        engine, snapshots, decomp = small_run
+        base = TrafficModel(decomp, BASELINE, engine.field.cutoff)
+        comp = TrafficModel(decomp, INZ_ONLY, engine.field.cutoff)
+        b = base.process_step(snapshots[0])
+        c = comp.process_step(snapshots[0])
+        assert c.total_bits < b.total_bits
+        assert c.position_packets == b.position_packets
+        assert c.force_packets == b.force_packets
+
+    def test_pcache_hits_after_warmup(self, small_run):
+        engine, snapshots, decomp = small_run
+        model = TrafficModel(decomp, FULL, engine.field.cutoff)
+        for snapshot in snapshots[:3]:
+            traffic = model.process_step(snapshot)
+        assert traffic.pcache_hits > traffic.pcache_misses
+
+    def test_force_returns_follow_pair_ownership(self, small_run):
+        """Force packets come from about half the (atom, importer) pairs."""
+        engine, snapshots, decomp = small_run
+        model = TrafficModel(decomp, BASELINE, engine.field.cutoff)
+        traffic = model.process_step(snapshots[0])
+        assert traffic.force_packets < traffic.position_packets
+
+    def test_per_channel_bits_sum_close_to_total(self, small_run):
+        engine, snapshots, decomp = small_run
+        model = TrafficModel(decomp, BASELINE, engine.field.cutoff)
+        traffic = model.process_step(snapshots[0])
+        # Per-channel entries were halved for 2-wide cable balancing.
+        assert sum(traffic.per_channel_bits.values()) * 2 == pytest.approx(
+            traffic.position_bits + traffic.force_bits)
+
+    def test_deterministic(self, small_run):
+        engine, snapshots, decomp = small_run
+        a = TrafficModel(decomp, FULL, engine.field.cutoff)
+        b = TrafficModel(decomp, FULL, engine.field.cutoff)
+        for snapshot in snapshots[:2]:
+            ta = a.process_step(snapshot)
+            tb = b.process_step(snapshot)
+            assert ta.total_bits == tb.total_bits
+
+
+class TestCompareConfigurations:
+    def test_reduction_ordering(self, small_run):
+        """INZ reduces traffic; INZ + pcache reduces it further
+        (Fig. 9a's ordering)."""
+        engine, snapshots, decomp = small_run
+        cmp = compare_configurations(snapshots, decomp, engine.field.cutoff)
+        inz_red = cmp.reduction_vs_baseline("inz")
+        full_red = cmp.reduction_vs_baseline("inz+pcache")
+        assert 0.0 < inz_red < full_red < 1.0
+
+    def test_inz_reduction_in_paper_band(self, small_run):
+        engine, snapshots, decomp = small_run
+        cmp = compare_configurations(snapshots, decomp, engine.field.cutoff)
+        # Paper: 32-40%; allow modest slack for the small test system.
+        assert 0.28 <= cmp.reduction_vs_baseline("inz") <= 0.44
+
+    def test_combined_reduction_in_paper_band(self, small_run):
+        engine, snapshots, decomp = small_run
+        cmp = compare_configurations(snapshots, decomp, engine.field.cutoff)
+        # Paper: 45-62% (low atom counts sit at the top of the band).
+        assert 0.42 <= cmp.reduction_vs_baseline("inz+pcache") <= 0.68
+
+
+class TestTimestepModel:
+    def test_channel_bound_when_traffic_large(self, small_run):
+        engine, snapshots, decomp = small_run
+        model = TrafficModel(decomp, BASELINE, engine.field.cutoff)
+        traffic = model.process_step(snapshots[0])
+        breakdown = TimestepModel().evaluate(
+            traffic, num_pairs=snapshots[0].record.num_pairs,
+            num_atoms=2048, num_nodes=8)
+        assert breakdown.channel_bound
+        assert breakdown.total_ns > breakdown.pairwise_phase_ns
+
+    def test_ppim_utilization_rises_with_compression(self, small_run):
+        """Fig. 12's observation: compression raises PPIM utilization."""
+        engine, snapshots, decomp = small_run
+        result = evaluate_system(snapshots, decomp, engine.field.cutoff)
+        base = result.outcomes["baseline"].breakdowns[-1]
+        comp = result.outcomes["inz+pcache"].breakdowns[-1]
+        assert comp.ppim_utilization > base.ppim_utilization
+
+    def test_phase_arithmetic(self):
+        from repro.fullsim.timestep import TimestepBreakdown
+        b = TimestepBreakdown(channel_ns=100.0, ppim_ns=40.0,
+                              integration_ns=10.0, sync_ns=5.0,
+                              pipeline_fill_ns=3.0, other_compute_ns=7.0)
+        assert b.pairwise_phase_ns == 103.0
+        assert b.total_ns == 125.0
+        assert b.channel_bound
+        assert b.ppim_utilization == pytest.approx(0.4)
+
+
+class TestWaterBenchmark:
+    def test_speedup_in_paper_band(self):
+        result = water_benchmark(2048, steps=6, seed=2)
+        # Paper Fig. 9b: 1.18-1.62; allow slack at the band edges.
+        assert 1.1 <= result.speedup() <= 1.75
+
+    def test_speedup_exceeds_inz_only(self):
+        result = water_benchmark(2048, steps=6, seed=2)
+        assert result.speedup() > result.speedup(config="inz")
+
+    def test_traffic_reduction_accessors(self):
+        result = water_benchmark(1024, steps=5, seed=3)
+        assert 0 < result.traffic_reduction("inz") < 1
+        assert (result.traffic_reduction("inz+pcache")
+                > result.traffic_reduction("inz"))

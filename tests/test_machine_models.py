@@ -1,0 +1,117 @@
+"""Tests for the floorplan inventory, component models, and the analytic
+latency breakdown (Figure 6)."""
+
+import pytest
+
+from repro.config import (
+    PAPER_LATENCY_PER_HOP_NS,
+    PAPER_MIN_ONE_HOP_LATENCY_NS,
+)
+from repro.machine import (
+    AsicFloorplan,
+    BondCalculatorModel,
+    ComponentKind,
+    GeometryCoreModel,
+    IcbModel,
+    PpimModel,
+    breakdown_total_ns,
+    chip_pair_throughput_gops,
+    minimum_one_hop_breakdown,
+    per_hop_total_ns,
+)
+
+
+class TestFloorplan:
+    def test_tile_counts(self):
+        plan = AsicFloorplan()
+        assert len(list(plan.core_tiles())) == 288
+        assert len(list(plan.edge_tiles())) == 24
+        assert len(list(plan.tiles())) == 312
+
+    def test_component_counts_match_table2(self):
+        assert AsicFloorplan().validate_against_paper() == []
+
+    def test_full_inventory(self):
+        counts = AsicFloorplan().component_counts()
+        assert counts[ComponentKind.GEOMETRY_CORE] == 576
+        assert counts[ComponentKind.PPIM] == 576
+        assert counts[ComponentKind.BOND_CALCULATOR] == 288
+        assert counts[ComponentKind.ICB] == 48
+
+    def test_edge_tiles_flank_both_sides(self):
+        cols = {t.column for t in AsicFloorplan().edge_tiles()}
+        assert cols == {-1, 24}
+
+
+class TestComponentModels:
+    def test_ppim_stream_time(self):
+        ppim = PpimModel(clock_ghz=2.0, pairs_per_cycle=0.5)
+        ppim.load_stored_set(10)
+        # 100 streamed x 10 stored = 1000 pairs at 1 pair/ns.
+        assert ppim.stream_time_ns(100) == pytest.approx(1000.0)
+        assert ppim.pairs_computed == 1000
+
+    def test_ppim_capacity_enforced(self):
+        ppim = PpimModel(stored_set_capacity=4)
+        with pytest.raises(ValueError):
+            ppim.load_stored_set(5)
+
+    def test_icb_requires_fence_before_completion(self):
+        """Section V: the ICB must see its network fence before it can
+        declare streaming complete for the step."""
+        icb = IcbModel()
+        icb.buffer_positions(100)
+        with pytest.raises(RuntimeError):
+            icb.stream_all()
+        icb.receive_fence()
+        assert icb.stream_all() == 100
+        assert icb.buffered == 0
+
+    def test_icb_overflow(self):
+        icb = IcbModel(buffer_capacity=10)
+        with pytest.raises(ValueError):
+            icb.buffer_positions(11)
+
+    def test_bond_calculator_time(self):
+        bc = BondCalculatorModel(clock_ghz=2.0, bonds_per_cycle=0.5)
+        assert bc.compute_time_ns(100) == pytest.approx(100.0)
+
+    def test_gc_integration_time(self):
+        gc = GeometryCoreModel(clock_ghz=2.0, cycles_per_atom=10.0)
+        assert gc.integration_time_ns(8) == pytest.approx(40.0)
+
+    def test_peak_throughput_near_table1(self):
+        """Fully saturated PPIMs approach Table I's 5914 GOPS."""
+        peak = chip_pair_throughput_gops(pairs_per_cycle=1.0,
+                                         ops_per_pair=3.67)
+        assert peak == pytest.approx(5914, rel=0.02)
+
+
+class TestLatencyBreakdown:
+    def test_minimum_one_hop_near_55ns(self):
+        total = breakdown_total_ns()
+        assert total == pytest.approx(PAPER_MIN_ONE_HOP_LATENCY_NS, abs=5.0)
+
+    def test_per_hop_near_34ns(self):
+        assert per_hop_total_ns() == pytest.approx(PAPER_LATENCY_PER_HOP_NS,
+                                                   abs=3.0)
+
+    def test_breakdown_components_positive(self):
+        for entry in minimum_one_hop_breakdown():
+            assert entry.ns > 0
+
+    def test_serdes_and_wire_dominate_per_hop(self):
+        """The analog channel path is the majority of a torus hop."""
+        from repro.machine import per_hop_breakdown
+        entries = {e.component: e.ns for e in per_hop_breakdown()}
+        analog = (entries["SERDES TX"] + entries["Wire"]
+                  + entries["SERDES RX"])
+        assert analog > per_hop_total_ns() / 2
+
+    def test_endpoints_smaller_than_channel(self):
+        """Tight core integration: endpoint overheads are a small share
+        of the 55 ns (no MPI-like software stack)."""
+        entries = {e.component: e.ns for e in minimum_one_hop_breakdown()}
+        endpoint = (entries["GC send (software + issue)"]
+                    + entries["Blocking read release"])
+        assert endpoint < 0.25 * breakdown_total_ns()

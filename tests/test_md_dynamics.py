@@ -1,0 +1,180 @@
+"""Tests for cell lists, forces, and the velocity Verlet integrator."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    ChemicalSystem,
+    ForceField,
+    MdEngine,
+    VelocityVerlet,
+    compute_forces,
+    neighbor_pairs,
+    water_box,
+)
+from repro.md.cells import CellGrid, NeighborList
+
+
+class TestCellGrid:
+    def test_cell_count(self):
+        grid = CellGrid.for_box(box=30.0, cutoff=9.0)
+        assert grid.cells_per_side == 3
+        assert grid.num_cells == 27
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellGrid.for_box(box=10.0, cutoff=6.0)  # cutoff > box/2
+        with pytest.raises(ValueError):
+            CellGrid.for_box(box=0.0, cutoff=1.0)
+
+    def test_cell_index_in_range(self):
+        grid = CellGrid.for_box(box=30.0, cutoff=7.0)
+        pos = np.random.default_rng(0).uniform(0, 30, size=(100, 3))
+        idx = grid.cell_index(pos)
+        assert np.all((idx >= 0) & (idx < grid.num_cells))
+
+
+class TestNeighborPairs:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        box, cutoff = 24.0, 5.0
+        pos = rng.uniform(0, box, size=(300, 3))
+        ii, jj = neighbor_pairs(pos, box, cutoff)
+        from repro.md.cells import _brute_force_pairs
+        bi, bj = _brute_force_pairs(pos, box, cutoff)
+        got = {(min(a, b), max(a, b)) for a, b in zip(ii, jj)}
+        want = {(min(a, b), max(a, b)) for a, b in zip(bi, bj)}
+        assert got == want
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0, 20, size=(200, 3))
+        ii, jj = neighbor_pairs(pos, 20.0, 4.0)
+        pairs = [(min(a, b), max(a, b)) for a, b in zip(ii, jj)]
+        assert len(pairs) == len(set(pairs))
+        assert all(a != b for a, b in pairs)
+
+    def test_periodic_pair_found(self):
+        pos = np.array([[0.5, 10.0, 10.0], [19.5, 10.0, 10.0]])
+        ii, jj = neighbor_pairs(pos, 20.0, 2.0)
+        assert len(ii) == 1  # 1 A apart through the boundary
+
+
+class TestNeighborList:
+    def test_reuses_until_motion(self):
+        rng = np.random.default_rng(6)
+        pos = rng.uniform(0, 30, size=(500, 3))
+        nlist = NeighborList(box=30.0, cutoff=6.0, skin=1.0)
+        nlist.pairs(pos)
+        nlist.pairs(pos + 0.05)   # tiny motion: reuse
+        assert nlist.rebuilds == 1
+        nlist.pairs(pos + 2.0)    # large motion: rebuild
+        assert nlist.rebuilds == 2
+
+    def test_skin_validated(self):
+        with pytest.raises(ValueError):
+            NeighborList(10.0, 3.0, skin=-1.0)
+
+
+class TestForces:
+    def test_newton_third_law(self):
+        system = water_box(200, seed=7)
+        field = ForceField(epsilon=system.epsilon, sigma=system.sigma,
+                           cutoff=6.0)
+        result = compute_forces(system.positions, system.box, field)
+        net = result.forces.sum(axis=0)
+        assert np.allclose(net, 0.0, atol=1e-9)
+
+    def test_two_atoms_at_minimum_have_no_force(self):
+        field = ForceField(epsilon=1.0, sigma=1.0, cutoff=5.0)
+        r_min = 2.0 ** (1 / 6)
+        pos = np.array([[5.0, 5.0, 5.0], [5.0 + r_min, 5.0, 5.0]])
+        result = compute_forces(pos, 20.0, field)
+        assert np.allclose(result.forces, 0.0, atol=1e-12)
+
+    def test_close_pair_repels(self):
+        field = ForceField(epsilon=1.0, sigma=1.0, cutoff=5.0)
+        pos = np.array([[5.0, 5.0, 5.0], [5.9, 5.0, 5.0]])
+        result = compute_forces(pos, 20.0, field)
+        assert result.forces[0, 0] < 0  # pushed apart
+        assert result.forces[1, 0] > 0
+
+    def test_beyond_cutoff_no_interaction(self):
+        field = ForceField(epsilon=1.0, sigma=1.0, cutoff=2.0)
+        pos = np.array([[1.0, 1.0, 1.0], [5.0, 5.0, 5.0]])
+        result = compute_forces(pos, 20.0, field)
+        assert result.num_pairs == 0
+        assert np.allclose(result.forces, 0.0)
+
+    def test_skinned_pairs_refiltered(self):
+        """Pairs from a skinned list outside the cutoff contribute zero."""
+        field = ForceField(epsilon=1.0, sigma=1.0, cutoff=2.0)
+        pos = np.array([[0.0, 0.0, 0.0], [2.5, 0.0, 0.0]])
+        pairs = (np.array([0]), np.array([1]))  # 2.5 A apart, outside 2 A
+        result = compute_forces(pos, 20.0, field, pairs=pairs)
+        assert result.num_pairs == 0
+
+
+class TestVelocityVerlet:
+    def test_energy_roughly_conserved_without_thermostat(self):
+        system = water_box(216, temperature=150.0, seed=8)
+        field = ForceField(epsilon=system.epsilon, sigma=system.sigma,
+                           cutoff=min(8.5, system.box / 2.01))
+        integ = VelocityVerlet(system, field, dt_fs=1.0)
+        records = integ.run(40)
+        energies = [r.total_energy for r in records[5:]]
+        spread = max(energies) - min(energies)
+        scale = abs(np.mean(energies)) + 1e-12
+        assert spread / max(scale, 1e-9) < 0.2 or spread < 1e-3
+
+    def test_thermostat_pulls_temperature(self):
+        system = water_box(216, temperature=600.0, seed=9)
+        field = ForceField(epsilon=system.epsilon, sigma=system.sigma,
+                           cutoff=min(8.5, system.box / 2.01))
+        integ = VelocityVerlet(system, field, dt_fs=1.0,
+                               thermostat_temperature=300.0,
+                               thermostat_strength=0.5)
+        integ.run(30)
+        assert system.temperature() < 450.0
+
+    def test_step_counter_and_records(self):
+        system = water_box(125, seed=10)
+        field = ForceField(epsilon=system.epsilon, sigma=system.sigma,
+                           cutoff=min(6.0, system.box / 2.01))
+        integ = VelocityVerlet(system, field)
+        records = integ.run(3)
+        assert [r.step for r in records] == [1, 2, 3]
+
+    def test_rejects_bad_dt(self):
+        system = water_box(27, seed=0)
+        field = ForceField(epsilon=1.0, sigma=1.0,
+                           cutoff=min(3.0, system.box / 2.01))
+        with pytest.raises(ValueError):
+            VelocityVerlet(system, field, dt_fs=0.0)
+
+
+class TestMdEngine:
+    def test_snapshots_have_fixed_point_data(self):
+        engine = MdEngine.water(343, seed=11)
+        snaps = engine.run(2)
+        assert len(snaps) == 2
+        assert snaps[0].positions_fp.dtype == np.int32
+        assert snaps[0].forces_fp.dtype == np.int32
+        assert snaps[0].positions_fp.shape == (343, 3)
+
+    def test_warmup_runs_once(self):
+        engine = MdEngine.water(125, seed=12)
+        engine.warmup()
+        steps_after_warmup = engine.integrator.step_count
+        engine.warmup()
+        assert engine.integrator.step_count == steps_after_warmup
+
+    def test_positions_move_smoothly(self):
+        """Per-step fixed-point deltas are small — the particle-cache
+        operating assumption (Section IV-B)."""
+        engine = MdEngine.water(343, seed=13)
+        snaps = engine.run(3)
+        delta = (snaps[-1].positions_fp.astype(np.int64)
+                 - snaps[-2].positions_fp.astype(np.int64))
+        delta = delta[np.abs(delta) < 2**24]  # discard box wraps
+        assert np.percentile(np.abs(delta), 95) < 4096  # < 12 bits

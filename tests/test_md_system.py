@@ -1,0 +1,134 @@
+"""Tests for chemical systems, the water-box generator, and fixed point."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import (
+    ChemicalSystem,
+    FixedPointCodec,
+    ForceCodec,
+    WATER_NUMBER_DENSITY,
+    box_edge_for_atoms,
+    water_box,
+)
+
+
+class TestBoxGeometry:
+    def test_density_matches_request(self):
+        n = 1000
+        box = box_edge_for_atoms(n)
+        assert n / box**3 == pytest.approx(WATER_NUMBER_DENSITY)
+
+    def test_needs_atoms(self):
+        with pytest.raises(ValueError):
+            box_edge_for_atoms(0)
+
+
+class TestWaterBox:
+    def test_atom_count_and_bounds(self):
+        system = water_box(500, seed=3)
+        assert system.num_atoms == 500
+        assert np.all(system.positions >= 0)
+        assert np.all(system.positions < system.box)
+
+    def test_no_initial_overlaps(self):
+        """Jittered lattice guarantees a sane minimum separation."""
+        system = water_box(343, seed=5)
+        from repro.md.cells import neighbor_pairs
+        ii, jj = neighbor_pairs(system.positions, system.box, 2.0)
+        assert len(ii) == 0  # nothing closer than 2 A
+
+    def test_temperature_initialization(self):
+        system = water_box(2000, temperature=300.0, seed=1)
+        assert system.temperature() == pytest.approx(300.0, rel=0.1)
+
+    def test_zero_net_momentum(self):
+        system = water_box(1000, seed=2)
+        momentum = system.velocities.sum(axis=0)
+        assert np.allclose(momentum, 0.0, atol=1e-10)
+
+    def test_deterministic_by_seed(self):
+        a = water_box(100, seed=9)
+        b = water_box(100, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.velocities, b.velocities)
+
+    def test_different_seeds_differ(self):
+        a = water_box(100, seed=1)
+        b = water_box(100, seed=2)
+        assert not np.array_equal(a.positions, b.positions)
+
+
+class TestChemicalSystem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChemicalSystem(positions=np.zeros((4, 3)),
+                           velocities=np.zeros((3, 3)), box=10.0)
+        with pytest.raises(ValueError):
+            ChemicalSystem(positions=np.zeros((4, 2)),
+                           velocities=np.zeros((4, 2)), box=10.0)
+        with pytest.raises(ValueError):
+            ChemicalSystem(positions=np.zeros((4, 3)),
+                           velocities=np.zeros((4, 3)), box=-1.0)
+
+    def test_wrap(self):
+        system = ChemicalSystem(positions=np.array([[11.0, -1.0, 5.0]]),
+                                velocities=np.zeros((1, 3)), box=10.0)
+        system.wrap()
+        assert np.allclose(system.positions, [[1.0, 9.0, 5.0]])
+
+    def test_kinetic_energy(self):
+        system = ChemicalSystem(positions=np.zeros((2, 3)),
+                                velocities=np.array([[1.0, 0, 0],
+                                                     [0, 2.0, 0]]),
+                                box=10.0, mass=2.0)
+        assert system.kinetic_energy() == pytest.approx(0.5 * 2 * (1 + 4))
+
+
+class TestFixedPointCodec:
+    def test_roundtrip_within_resolution(self):
+        codec = FixedPointCodec()
+        values = np.array([0.0, 1.5, 99.999, -42.0])
+        decoded = codec.decode(codec.encode(values))
+        assert np.allclose(decoded, values, atol=codec.resolution)
+
+    def test_scalar(self):
+        codec = FixedPointCodec(resolution=0.5)
+        assert codec.encode_scalar(2.0) == 4
+
+    def test_wraps_like_int32(self):
+        codec = FixedPointCodec(resolution=1.0)
+        big = np.array([2.0**31])
+        assert codec.encode(big)[0] == -(2**31)
+
+    def test_resolution_validated(self):
+        with pytest.raises(ValueError):
+            FixedPointCodec(resolution=0.0)
+
+    def test_typical_box_fits_without_wrap(self):
+        codec = FixedPointCodec()
+        box = box_edge_for_atoms(100_000)  # ~144 A
+        assert box < codec.max_representable()
+
+    @given(st.floats(min_value=-1000, max_value=1000,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_quantization_error_bounded(self, value):
+        codec = FixedPointCodec()
+        decoded = codec.decode(codec.encode(np.array([value])))[0]
+        assert abs(decoded - value) <= codec.resolution / 2 + 1e-12
+
+
+class TestForceCodec:
+    def test_roundtrip(self):
+        codec = ForceCodec()
+        values = np.array([1e-4, -3e-3, 0.0])
+        decoded = codec.decode(codec.encode(values))
+        assert np.allclose(decoded, values, atol=codec.resolution)
+
+    def test_clips_instead_of_wrapping(self):
+        codec = ForceCodec(resolution=1.0)
+        assert codec.encode(np.array([1e12]))[0] == 2**31 - 1
+        assert codec.encode(np.array([-1e12]))[0] == -(2**31)

@@ -1,0 +1,151 @@
+"""Tests for links (credits, serialization) and the router base class."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.netsim import CoreAddress, Packet, PacketKind, TrafficClass
+from repro.netsim.fabric import FabricError, Link, Router
+
+
+def make_packet(num_flits=1):
+    return Packet(kind=PacketKind.COUNTED_WRITE,
+                  traffic_class=TrafficClass.REQUEST,
+                  src_node=(0, 0, 0), dst_node=(1, 0, 0),
+                  src_core=CoreAddress(0, 0, 0),
+                  dst_core=CoreAddress(0, 0, 0),
+                  num_flits=num_flits)
+
+
+class TestLink:
+    def test_delivers_after_serialization_and_latency(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, "l", latency_ns=5.0, ser_ns_per_flit=1.0,
+                    vcs=2, credit_flits=8,
+                    deliver=lambda p, v, l: arrivals.append((sim.now, v)))
+        sim.at(0.0, lambda: link.send(make_packet(num_flits=2), 1))
+        sim.run()
+        assert arrivals == [(7.0, 1)]  # 2 flits x 1 ns + 5 ns
+
+    def test_serialization_is_exclusive(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, "l", latency_ns=0.0, ser_ns_per_flit=2.0,
+                    vcs=1, credit_flits=64,
+                    deliver=lambda p, v, l: arrivals.append(sim.now))
+        def send_two():
+            link.send(make_packet(), 0)
+            link.send(make_packet(), 0)
+        sim.at(0.0, send_two)
+        sim.run()
+        assert arrivals == [2.0, 4.0]  # back-to-back, not overlapped
+
+    def test_vc_range_checked(self):
+        sim = Simulator()
+        link = Link(sim, "l", 0.0, 1.0, vcs=2, credit_flits=8,
+                    deliver=lambda p, v, l: None)
+        with pytest.raises(FabricError):
+            link.send(make_packet(), 5)
+
+    def test_credits_block_and_release(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, "l", latency_ns=0.0, ser_ns_per_flit=1.0,
+                    vcs=1, credit_flits=2,
+                    deliver=lambda p, v, l: arrivals.append(sim.now))
+        def send_three():
+            for __ in range(3):
+                link.send(make_packet(num_flits=1), 0)
+        sim.at(0.0, send_three)
+        sim.run()
+        # Only two packets fit the downstream queue.
+        assert len(arrivals) == 2
+        assert link.queued == 1
+        # Downstream frees one slot: the third proceeds.
+        link.return_credits(0, 1)
+        sim.run()
+        assert len(arrivals) == 3
+
+    def test_stats(self):
+        sim = Simulator()
+        link = Link(sim, "l", 0.0, 1.5, vcs=1, credit_flits=8,
+                    deliver=lambda p, v, l: None)
+        sim.at(0.0, lambda: link.send(make_packet(num_flits=2), 0))
+        sim.run()
+        assert link.packets_sent == 1
+        assert link.flits_sent == 2
+        assert link.busy_ns == pytest.approx(3.0)
+
+
+class _StubRouter(Router):
+    def __init__(self, sim, name, decision, latency=1.0):
+        super().__init__(sim, name)
+        self._decision = decision
+        self._latency = latency
+
+    def pipeline_ns(self, packet, in_port):
+        return self._latency
+
+    def route(self, packet, vc, in_port):
+        return self._decision
+
+
+class TestRouter:
+    def test_local_sink_delivery(self):
+        sim = Simulator()
+        got = []
+        router = _StubRouter(sim, "r", ("local", "gc0", None))
+        router.add_sink("gc0", got.append)
+        packet = make_packet()
+        sim.at(0.0, lambda: router.receive(packet, 0, "inject", None))
+        sim.run()
+        assert got == [packet]
+        assert router.packets_routed == 1
+
+    def test_missing_sink_raises(self):
+        sim = Simulator()
+        router = _StubRouter(sim, "r", ("local", "nope", None))
+        sim.at(0.0, lambda: router.receive(make_packet(), 0, "inject", None))
+        with pytest.raises(FabricError):
+            sim.run()
+
+    def test_missing_output_raises(self):
+        sim = Simulator()
+        router = _StubRouter(sim, "r", ("link", "U+", 0))
+        sim.at(0.0, lambda: router.receive(make_packet(), 0, "inject", None))
+        with pytest.raises(FabricError):
+            sim.run()
+
+    def test_duplicate_wiring_rejected(self):
+        sim = Simulator()
+        router = _StubRouter(sim, "r", ("local", "gc0", None))
+        link = Link(sim, "l", 0.0, 1.0, 1, 8, lambda p, v, l: None)
+        router.add_output("U+", link)
+        with pytest.raises(FabricError):
+            router.add_output("U+", link)
+        router.add_sink("gc0", lambda p: None)
+        with pytest.raises(FabricError):
+            router.add_sink("gc0", lambda p: None)
+
+    def test_pipeline_latency_charged(self):
+        sim = Simulator()
+        times = []
+        router = _StubRouter(sim, "r", ("local", "gc0", None), latency=3.5)
+        router.add_sink("gc0", lambda p: times.append(sim.now))
+        sim.at(1.0, lambda: router.receive(make_packet(), 0, "inject", None))
+        sim.run()
+        assert times == [4.5]
+
+    def test_credits_returned_upstream_on_delivery(self):
+        sim = Simulator()
+        router = _StubRouter(sim, "r", ("local", "gc0", None))
+        router.add_sink("gc0", lambda p: None)
+        link = Link(sim, "up", 0.0, 1.0, vcs=1, credit_flits=1,
+                    deliver=lambda p, v, l: router.receive(p, v, "in", l))
+        def send_two():
+            link.send(make_packet(), 0)
+            link.send(make_packet(), 0)
+        sim.at(0.0, send_two)
+        sim.run()
+        # Second packet required the first's credit to come back.
+        assert link.packets_sent == 2

@@ -1,0 +1,97 @@
+"""Tests for packet formats and VC assignment (Section III-B)."""
+
+import pytest
+
+from repro.netsim import (
+    FLIT_BITS,
+    HEADER_BITS,
+    PAYLOAD_BITS,
+    RESPONSE_VC,
+    CoreAddress,
+    Packet,
+    PacketKind,
+    TrafficClass,
+    request_vc,
+)
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        kind=PacketKind.COUNTED_WRITE,
+        traffic_class=TrafficClass.REQUEST,
+        src_node=(0, 0, 0), dst_node=(1, 0, 0),
+        src_core=CoreAddress(0, 0, 0), dst_core=CoreAddress(1, 1, 1),
+    )
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+class TestFlitFormat:
+    def test_flit_is_192_bits(self):
+        assert FLIT_BITS == 192
+        assert HEADER_BITS == 64
+        assert PAYLOAD_BITS == 128
+        assert HEADER_BITS + PAYLOAD_BITS == FLIT_BITS
+
+    def test_packets_are_one_or_two_flits(self):
+        assert make_packet(num_flits=1).bits == 192
+        assert make_packet(num_flits=2).bits == 384
+        with pytest.raises(ValueError):
+            make_packet(num_flits=3)
+        with pytest.raises(ValueError):
+            make_packet(num_flits=0)
+
+
+class TestTrafficClasses:
+    def test_response_requires_xyz_order(self):
+        with pytest.raises(ValueError):
+            make_packet(traffic_class=TrafficClass.RESPONSE,
+                        kind=PacketKind.READ_RESPONSE,
+                        dim_order=(1, 0, 2))
+
+    def test_response_xyz_allowed(self):
+        packet = make_packet(traffic_class=TrafficClass.RESPONSE,
+                             kind=PacketKind.READ_RESPONSE,
+                             dim_order=(0, 1, 2))
+        assert packet.traffic_class is TrafficClass.RESPONSE
+
+    def test_request_any_order(self):
+        for order in ((0, 1, 2), (2, 1, 0), (1, 2, 0)):
+            assert make_packet(dim_order=order).dim_order == order
+
+
+class TestVcAssignment:
+    def test_four_request_vcs(self):
+        vcs = set()
+        for slice_index in (0, 1):
+            for dateline in (False, True):
+                packet = make_packet(slice_index=slice_index)
+                vcs.add(request_vc(packet, dateline))
+        assert vcs == {0, 1, 2, 3}
+
+    def test_response_vc_is_fifth(self):
+        assert RESPONSE_VC == 4
+
+    def test_request_vcs_disjoint_from_response(self):
+        packet = make_packet()
+        assert request_vc(packet, False) != RESPONSE_VC
+
+
+class TestBookkeeping:
+    def test_latency_requires_completion(self):
+        packet = make_packet()
+        with pytest.raises(RuntimeError):
+            __ = packet.latency_ns
+        packet.injected_ns = 10.0
+        packet.delivered_ns = 65.0
+        assert packet.latency_ns == 55.0
+
+    def test_unique_ids(self):
+        ids = {make_packet().pid for __ in range(50)}
+        assert len(ids) == 50
+
+    def test_hop_log(self):
+        packet = make_packet()
+        packet.log_hop("core(0,0)")
+        packet.log_hop("ra0")
+        assert packet.hop_log == ["core(0,0)", "ra0"]

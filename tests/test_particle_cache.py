@@ -1,0 +1,225 @@
+"""Tests for the particle cache — Section IV-B.
+
+The central invariants: (1) the channel is lossless — every delivered
+packet is bit-identical to the packet sent; (2) the send and receive
+caches hold identical state after any packet stream; (3) eviction is
+controlled by the end-of-step counter and threshold.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    CompressedPacket,
+    EndOfStepPacket,
+    FullPacket,
+    ParticleCacheChannel,
+    PositionPacket,
+    ReceiveSideCache,
+    SendSideCache,
+)
+from repro.compression.particle_cache import _CacheCore
+
+
+def make_channel(**kwargs):
+    defaults = dict(entries=64, ways=4, evict_threshold=1)
+    defaults.update(kwargs)
+    return ParticleCacheChannel(**defaults)
+
+
+class TestBasicOperation:
+    def test_first_sight_is_full_packet(self):
+        ch = make_channel()
+        pkt = PositionPacket(7, (100, 200, 300), static_field=42)
+        wire, delivered = ch.transfer(pkt)
+        assert isinstance(wire, FullPacket)
+        assert delivered == pkt
+
+    def test_second_sight_is_compressed(self):
+        ch = make_channel()
+        ch.transfer(PositionPacket(7, (100, 200, 300), static_field=42))
+        wire, delivered = ch.transfer(
+            PositionPacket(7, (101, 199, 300), static_field=42))
+        assert isinstance(wire, CompressedPacket)
+        assert delivered.position == (101, 199, 300)
+        assert delivered.static_field == 42
+
+    def test_compressed_packet_restores_static_fields(self):
+        ch = make_channel()
+        ch.transfer(PositionPacket(9, (0, 0, 0), static_field=123))
+        __, delivered = ch.transfer(PositionPacket(9, (5, 5, 5),
+                                                   static_field=123))
+        assert delivered.particle_id == 9
+        assert delivered.static_field == 123
+
+    def test_residual_shrinks_on_smooth_motion(self):
+        ch = make_channel()
+        sizes = []
+        for t in range(6):
+            x = 1_000_000 + 300 * t
+            wire, __ = ch.transfer(PositionPacket(1, (x, -x, x // 2)))
+            if isinstance(wire, CompressedPacket):
+                sizes.append(wire.residual.num_bytes)
+        # Ramp: constant -> linear predictor; by t>=3 residuals are 0 bytes.
+        assert sizes[-1] == 0
+        assert sizes[0] >= sizes[-1]
+
+    def test_corrupted_delivery_raises(self):
+        ch = make_channel()
+        ch.transfer(PositionPacket(1, (0, 0, 0)))
+        # Poke the receive side out of sync, then expect the assertion.
+        entry = ch.receive_side.entry(ch.receive_side.set_index(1),
+                                      ch.receive_side.lookup(1))
+        entry.predictor.x.d0 += 1
+        with pytest.raises(AssertionError):
+            ch.transfer(PositionPacket(1, (1, 1, 1)))
+
+
+class TestMirrorProperty:
+    @given(st.lists(
+        st.tuples(st.integers(0, 40),
+                  st.tuples(st.integers(-10**6, 10**6),
+                            st.integers(-10**6, 10**6),
+                            st.integers(-10**6, 10**6))),
+        min_size=1, max_size=120),
+        st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_sides_identical_after_random_stream(self, stream, step_every):
+        ch = make_channel(entries=32, ways=2)
+        for i, (pid, pos) in enumerate(stream):
+            ch.transfer(PositionPacket(pid, pos, static_field=pid * 3))
+            if step_every and i % (step_every + 1) == step_every:
+                ch.end_of_step()
+        assert ch.in_sync()
+
+    def test_sync_survives_eviction_pressure(self):
+        # 8 entries, 2 ways -> 4 sets.  A migration: the first particle
+        # population goes quiet, a second one (conflicting in every set)
+        # arrives and must evict the stale entries.
+        ch = make_channel(entries=8, ways=2, evict_threshold=0)
+        for t in range(2):
+            for pid in range(8):
+                ch.transfer(PositionPacket(pid, (pid * 100 + t, t, -t)))
+            ch.end_of_step()
+        for t in range(2):
+            for pid in range(40, 48):
+                ch.transfer(PositionPacket(pid, (pid * 100 + t, t, -t)))
+            ch.end_of_step()
+        assert ch.in_sync()
+        assert ch.send_side.stats.evictions > 0
+
+
+def conflicting_ids(count, num_sets=4):
+    """First ``count`` particle ids that share cache set 0 under the
+    production set-index hash (mirrors _CacheCore.set_index)."""
+    found = []
+    pid = 0
+    while len(found) < count:
+        mixed = (pid * 0x9E3779B1) & 0xFFFF_FFFF
+        mixed ^= mixed >> 16
+        if mixed % num_sets == 0:
+            found.append(pid)
+        pid += 1
+    return found
+
+
+class TestAllocationAndEviction:
+    def test_set_fills_then_allocation_fails(self):
+        send = SendSideCache(entries=8, ways=2, evict_threshold=10)
+        a, b, c = conflicting_ids(3)
+        for pid in (a, b):
+            send.send(PositionPacket(pid, (0, 0, 0)))
+        out = send.send(PositionPacket(c, (0, 0, 0)))
+        assert isinstance(out, FullPacket)  # miss, set full, fresh entries
+        assert send.stats.alloc_failures == 1
+
+    def test_stale_entry_evicted_after_threshold(self):
+        ch = make_channel(entries=8, ways=2, evict_threshold=1)
+        a, b, c = conflicting_ids(3)
+        for pid in (a, b):
+            ch.transfer(PositionPacket(pid, (0, 0, 0)))
+        # Entry stamps are step 0; advance past the threshold.
+        ch.end_of_step()
+        ch.end_of_step()
+        ch.transfer(PositionPacket(c, (0, 0, 0)))
+        send = ch.send_side
+        assert send.stats.evictions == 1
+        assert send.lookup(c) is not None
+        assert send.lookup(a) is None or send.lookup(b) is None
+
+    def test_fresh_entries_not_evicted(self):
+        ch = make_channel(entries=8, ways=2, evict_threshold=1)
+        a, b, c = conflicting_ids(3)
+        for pid in (a, b):
+            ch.transfer(PositionPacket(pid, (0, 0, 0)))
+        ch.transfer(PositionPacket(c, (0, 0, 0)))  # same step: no eviction
+        assert ch.send_side.stats.evictions == 0
+
+    def test_hit_refreshes_stamp(self):
+        ch = make_channel(entries=8, ways=2, evict_threshold=1)
+        a, b, c = conflicting_ids(3)
+        ch.transfer(PositionPacket(a, (0, 0, 0)))
+        ch.transfer(PositionPacket(b, (0, 0, 0)))
+        for __ in range(3):
+            ch.end_of_step()
+            ch.transfer(PositionPacket(a, (1, 1, 1)))  # keep `a` hot
+        ch.transfer(PositionPacket(c, (0, 0, 0)))
+        # `b` is stale and must be the victim; `a` must survive.
+        assert ch.send_side.lookup(a) is not None
+        assert ch.send_side.lookup(b) is None
+
+    def test_paper_defaults(self):
+        core = _CacheCore()
+        assert core.num_sets * core.ways == 1024
+        assert core.ways == 4
+        assert core.delta_bits == 12
+
+
+class TestStepCounter:
+    def test_marker_advances_both_sides(self):
+        ch = make_channel()
+        ch.end_of_step()
+        ch.end_of_step()
+        assert ch.send_side.step == 2
+        assert ch.receive_side.step == 2
+
+    def test_marker_returns_none_on_receive(self):
+        recv = ReceiveSideCache(entries=8, ways=2)
+        assert recv.receive(EndOfStepPacket()) is None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        ch = make_channel()
+        for t in range(4):
+            ch.transfer(PositionPacket(1, (t, t, t)))
+        stats = ch.send_side.stats
+        assert stats.lookups == 4
+        assert stats.hits == 3
+        assert stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_zero_lookups_hit_rate(self):
+        assert SendSideCache(entries=8, ways=2).stats.hit_rate == 0.0
+
+    def test_occupancy(self):
+        ch = make_channel(entries=16, ways=4)
+        for pid in range(5):
+            ch.transfer(PositionPacket(pid, (0, 0, 0)))
+        assert ch.send_side.occupancy == 5
+        assert ch.receive_side.occupancy == 5
+
+
+class TestValidation:
+    def test_entries_must_divide_ways(self):
+        with pytest.raises(ValueError):
+            SendSideCache(entries=10, ways=4)
+
+    def test_entry_lookup_error_when_desynced(self):
+        recv = ReceiveSideCache(entries=8, ways=2)
+        from repro.compression import inz
+        bogus = CompressedPacket(set_index=0, way=0,
+                                 residual=inz.encode([0, 0, 0, 0]))
+        with pytest.raises(LookupError):
+            recv.receive(bogus)

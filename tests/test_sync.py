@@ -1,0 +1,219 @@
+"""Tests for counted-write / blocking-read synchronization (Section III-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+from repro.sync import (
+    COUNTER_MOD,
+    BlockingReadPort,
+    CountedWriteMessage,
+    QuadSram,
+    SramError,
+    deliver,
+)
+
+
+class TestQuadSram:
+    def test_initial_state(self):
+        sram = QuadSram()
+        assert sram.num_quads == 8192  # 128 KB / 16 B
+        assert sram.read(0) == [0, 0, 0, 0]
+        assert sram.counter(0) == 0
+
+    def test_plain_write_does_not_count(self):
+        sram = QuadSram()
+        sram.write(3, [1, 2, 3, 4])
+        assert sram.read(3) == [1, 2, 3, 4]
+        assert sram.counter(3) == 0
+        assert sram.plain_writes == 1
+
+    def test_counted_write_increments(self):
+        sram = QuadSram()
+        sram.counted_write(3, [1, 2, 3, 4])
+        sram.counted_write(3, [5, 6, 7, 8])
+        assert sram.read(3) == [5, 6, 7, 8]
+        assert sram.counter(3) == 2
+        assert sram.counted_writes == 2
+
+    def test_counter_wraps_at_8_bits(self):
+        sram = QuadSram()
+        for __ in range(COUNTER_MOD + 1):
+            sram.counted_write(0, [0, 0, 0, 0])
+        assert sram.counter(0) == 1
+
+    def test_accumulate_write_sums(self):
+        """Force accumulation: each arriving force adds into the quad."""
+        sram = QuadSram()
+        sram.counted_write(1, [10, 20, 30, 0], accumulate=True)
+        sram.counted_write(1, [1, 2, 3, 0], accumulate=True)
+        assert sram.read(1) == [11, 22, 33, 0]
+        assert sram.counter(1) == 2
+
+    def test_accumulate_wraps_32_bits(self):
+        sram = QuadSram()
+        sram.write(0, [0xFFFF_FFFF, 0, 0, 0])
+        sram.write(0, [1, 0, 0, 0], accumulate=True)
+        assert sram.read(0)[0] == 0
+
+    def test_out_of_range_raises(self):
+        sram = QuadSram(size_bytes=64)
+        with pytest.raises(SramError):
+            sram.read(4)
+
+    def test_bad_sizes_raise(self):
+        with pytest.raises(SramError):
+            QuadSram(size_bytes=100)
+        with pytest.raises(SramError):
+            QuadSram().write(0, [1, 2, 3])
+
+    def test_reset_counter(self):
+        sram = QuadSram()
+        sram.counted_write(0, [1, 1, 1, 1])
+        sram.reset_counter(0)
+        assert sram.counter(0) == 0
+
+    def test_counter_reached(self):
+        sram = QuadSram()
+        assert sram.counter_reached(0, 0)
+        assert not sram.counter_reached(0, 1)
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert sram.counter_reached(0, 1)
+
+
+class TestWaiters:
+    def test_waiter_fires_at_threshold(self):
+        sram = QuadSram()
+        fired = []
+        sram.add_waiter(0, 2, lambda: fired.append(sram.counter(0)))
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert fired == []
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert fired == [2]
+        assert sram.blocked_readers == 0
+
+    def test_already_satisfied_returns_true(self):
+        sram = QuadSram()
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert sram.add_waiter(0, 1, lambda: None) is True
+
+    def test_multiple_waiters_different_thresholds(self):
+        sram = QuadSram()
+        fired = []
+        sram.add_waiter(0, 1, lambda: fired.append(1))
+        sram.add_waiter(0, 3, lambda: fired.append(3))
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert fired == [1]
+        assert sram.blocked_readers == 1
+        sram.counted_write(0, [0, 0, 0, 0])
+        sram.counted_write(0, [0, 0, 0, 0])
+        assert fired == [1, 3]
+
+    def test_plain_write_does_not_release(self):
+        sram = QuadSram()
+        fired = []
+        sram.add_waiter(0, 1, lambda: fired.append(True))
+        sram.write(0, [9, 9, 9, 9], counted=False)
+        assert fired == []
+
+
+class TestCountedWriteMessage:
+    def test_requires_a_quad(self):
+        with pytest.raises(ValueError):
+            CountedWriteMessage(dst_node=(0, 0, 0), dst_core=0, quad_addr=0,
+                                words=(1, 2, 3))
+
+    def test_deliver_applies_to_sram(self):
+        sram = QuadSram()
+        msg = CountedWriteMessage(dst_node=(0, 0, 0), dst_core=1, quad_addr=5,
+                                  words=(1, 2, 3, 4))
+        deliver(sram, msg)
+        assert sram.read(5) == [1, 2, 3, 4]
+        assert sram.counter(5) == 1
+
+    def test_deliver_accumulate(self):
+        sram = QuadSram()
+        for __ in range(3):
+            deliver(sram, CountedWriteMessage(
+                dst_node=(0, 0, 0), dst_core=0, quad_addr=2,
+                words=(5, 0, 0, 0), accumulate=True))
+        assert sram.read(2)[0] == 15
+        assert sram.counter(2) == 3
+
+    def test_payload_masks_to_32_bits(self):
+        msg = CountedWriteMessage(dst_node=(0, 0, 0), dst_core=0, quad_addr=0,
+                                  words=(-1, 2**32, 0, 1))
+        assert msg.payload_words() == [0xFFFF_FFFF, 0, 0, 1]
+
+
+class TestBlockingReadPort:
+    def test_read_blocks_until_counter(self):
+        """The integration use-case: wait for all forces on an atom."""
+        sim = Simulator()
+        sram = QuadSram()
+        port = BlockingReadPort(sim, sram)
+        done = []
+        sim.at(0.0, lambda: port.issue(0, 3, lambda r: done.append(r)))
+        for t in (10.0, 20.0, 30.0):
+            sim.at(t, lambda: sram.counted_write(
+                0, [1, 0, 0, 0], accumulate=True))
+        sim.run()
+        assert len(done) == 1
+        record = done[0]
+        assert record.complete_time == 30.0
+        assert record.stall_ns == 30.0
+        assert record.words[0] == 3
+
+    def test_read_completes_immediately_if_ready(self):
+        sim = Simulator()
+        sram = QuadSram()
+        sram.counted_write(0, [7, 0, 0, 0])
+        port = BlockingReadPort(sim, sram)
+        done = []
+        sim.at(5.0, lambda: port.issue(0, 1, lambda r: done.append(r)))
+        sim.run()
+        assert done[0].stall_ns == 0.0
+        assert done[0].words[0] == 7
+
+    def test_single_outstanding_read_enforced(self):
+        sim = Simulator()
+        sram = QuadSram()
+        port = BlockingReadPort(sim, sram)
+        port.issue(0, 1, lambda r: None)
+        assert port.stalled
+        with pytest.raises(RuntimeError):
+            port.issue(1, 1, lambda r: None)
+
+    def test_read_latency_applied(self):
+        sim = Simulator()
+        sram = QuadSram()
+        port = BlockingReadPort(sim, sram, read_latency_ns=2.5)
+        done = []
+        sim.at(0.0, lambda: port.issue(0, 1, lambda r: done.append(r)))
+        sim.at(10.0, lambda: sram.counted_write(0, [1, 2, 3, 4]))
+        sim.run()
+        assert done[0].complete_time == 12.5
+
+    def test_new_read_allowed_after_completion(self):
+        sim = Simulator()
+        sram = QuadSram()
+        port = BlockingReadPort(sim, sram)
+        sram.counted_write(0, [0, 0, 0, 0])
+        port.issue(0, 1, lambda r: None)
+        assert not port.stalled
+        port.issue(0, 1, lambda r: None)
+        assert len(port.history) == 2
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_stall_equals_last_arrival(self, n_writes):
+        sim = Simulator()
+        sram = QuadSram()
+        port = BlockingReadPort(sim, sram)
+        done = []
+        sim.at(0.0, lambda: port.issue(0, n_writes, lambda r: done.append(r)))
+        for i in range(n_writes):
+            sim.at(1.0 + i, lambda: sram.counted_write(0, [0, 0, 0, 0]))
+        sim.run()
+        assert done[0].complete_time == pytest.approx(float(n_writes))

@@ -1,0 +1,79 @@
+"""Tests for the on-chip 2D mesh and U->V dimension-order routing."""
+
+import pytest
+
+from repro.topology import Mesh2D
+
+
+class TestMeshBasics:
+    def test_core_network_dimensions(self):
+        # The Core Network is a 24x12 mesh (Section II-B).
+        mesh = Mesh2D(24, 12)
+        assert mesh.dims.num_nodes == 288
+
+    def test_edge_network_dimensions(self):
+        # Each Edge Network is 3 columns x 12 rows.
+        mesh = Mesh2D(3, 12)
+        assert mesh.dims.num_nodes == 36
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+
+    def test_node_id_roundtrip(self):
+        mesh = Mesh2D(5, 3)
+        for coord in mesh.nodes():
+            assert mesh.coord_of(mesh.node_id(coord)) == coord
+
+    def test_contains(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.contains((0, 0))
+        assert mesh.contains((3, 3))
+        assert not mesh.contains((4, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_corner_and_interior_neighbors(self):
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.neighbors((0, 0))) == 2
+        assert len(mesh.neighbors((1, 0))) == 3
+        assert len(mesh.neighbors((1, 1))) == 4
+
+    def test_out_of_range_raises(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            mesh.neighbors((5, 5))
+
+
+class TestUVRouting:
+    def test_route_endpoints(self):
+        mesh = Mesh2D(24, 12)
+        route = mesh.uv_route((0, 0), (23, 11))
+        assert route[0] == (0, 0)
+        assert route[-1] == (23, 11)
+        assert len(route) - 1 == mesh.hop_distance((0, 0), (23, 11)) == 34
+
+    def test_u_before_v(self):
+        mesh = Mesh2D(8, 8)
+        route = mesh.uv_route((1, 1), (5, 6))
+        # V coordinate must stay fixed until U has settled.
+        u_done = route.index((5, 1))
+        for coord in route[:u_done + 1]:
+            assert coord[1] == 1
+        for coord in route[u_done:]:
+            assert coord[0] == 5
+
+    def test_route_is_adjacent_steps(self):
+        mesh = Mesh2D(8, 8)
+        route = mesh.uv_route((7, 0), (0, 7))
+        for a, b in zip(route, route[1:]):
+            assert mesh.hop_distance(a, b) == 1
+
+    def test_self_route(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.uv_route((2, 2), (2, 2)) == [(2, 2)]
+
+    def test_u_and_v_hop_counts(self):
+        mesh = Mesh2D(24, 12)
+        assert mesh.u_hops((0, 0), (23, 0)) == 23
+        assert mesh.v_hops((0, 0), (0, 11)) == 11
+        assert mesh.u_hops((3, 5), (3, 9)) == 0

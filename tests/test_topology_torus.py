@@ -1,0 +1,200 @@
+"""Tests for the 3D torus topology and minimal dimension-order routing."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import DIMENSION_ORDERS, DIRECTIONS, Torus3D, TorusDims
+from repro.topology.torus import direction_name
+
+SMALL_DIMS = [(2, 2, 2), (4, 4, 8), (3, 2, 5), (1, 1, 4), (8, 8, 8)]
+
+
+def coords(torus):
+    return list(torus.nodes())
+
+
+class TestTorusDims:
+    def test_node_count_and_diameter(self):
+        dims = TorusDims(4, 4, 8)
+        assert dims.num_nodes == 128
+        assert dims.diameter == 2 + 2 + 4  # the paper's 128-node machine
+
+    def test_512_node_machine(self):
+        assert TorusDims(8, 8, 8).num_nodes == 512
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TorusDims(0, 1, 1)
+
+    def test_of_requires_three(self):
+        with pytest.raises(ValueError):
+            TorusDims.of((2, 2))
+
+
+class TestIdentity:
+    def test_node_id_roundtrip(self):
+        torus = Torus3D((3, 4, 5))
+        ids = set()
+        for coord in torus.nodes():
+            nid = torus.node_id(coord)
+            assert torus.coord_of(nid) == coord
+            ids.add(nid)
+        assert ids == set(range(60))
+
+    def test_normalize_wraps(self):
+        torus = Torus3D((4, 4, 4))
+        assert torus.normalize((-1, 4, 5)) == (3, 0, 1)
+
+    def test_coord_of_range_check(self):
+        with pytest.raises(ValueError):
+            Torus3D((2, 2, 2)).coord_of(8)
+
+
+class TestNeighbors:
+    def test_six_neighbors(self):
+        torus = Torus3D((4, 4, 4))
+        neighbors = torus.neighbors((0, 0, 0))
+        assert len(neighbors) == 6
+        dirs = [d for d, __ in neighbors]
+        assert set(dirs) == set(DIRECTIONS)
+
+    def test_wraparound_neighbor(self):
+        torus = Torus3D((4, 4, 4))
+        assert torus.neighbor((3, 0, 0), 0, +1) == (0, 0, 0)
+        assert torus.neighbor((0, 0, 0), 0, -1) == (3, 0, 0)
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError):
+            Torus3D((2, 2, 2)).neighbor((0, 0, 0), 3, 1)
+
+    def test_direction_names(self):
+        assert direction_name((0, 1)) == "X+"
+        assert direction_name((2, -1)) == "Z-"
+
+
+class TestDistances:
+    @pytest.mark.parametrize("dims", SMALL_DIMS)
+    def test_symmetry(self, dims):
+        torus = Torus3D(dims)
+        nodes = coords(torus)[:12]
+        for a, b in itertools.combinations(nodes, 2):
+            assert torus.min_hops(a, b) == torus.min_hops(b, a)
+
+    @pytest.mark.parametrize("dims", SMALL_DIMS)
+    def test_identity_distance_zero(self, dims):
+        torus = Torus3D(dims)
+        for node in coords(torus):
+            assert torus.min_hops(node, node) == 0
+
+    def test_wraparound_shorter(self):
+        torus = Torus3D((8, 1, 1))
+        assert torus.min_hops((0, 0, 0), (7, 0, 0)) == 1
+        assert torus.min_hops((0, 0, 0), (4, 0, 0)) == 4
+
+    @pytest.mark.parametrize("dims", [(4, 4, 8)])
+    def test_diameter_is_achieved(self, dims):
+        torus = Torus3D(dims)
+        origin = (0, 0, 0)
+        distances = [torus.min_hops(origin, c) for c in torus.nodes()]
+        assert max(distances) == torus.dims.diameter == 8
+
+    @given(st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, dims, data):
+        torus = Torus3D(dims)
+        pick = st.tuples(st.integers(0, dims[0] - 1),
+                         st.integers(0, dims[1] - 1),
+                         st.integers(0, dims[2] - 1))
+        a, b, c = (data.draw(pick) for __ in range(3))
+        assert torus.min_hops(a, c) <= torus.min_hops(a, b) + torus.min_hops(b, c)
+
+
+class TestRoutes:
+    def test_route_endpoints_and_length(self):
+        torus = Torus3D((4, 4, 8))
+        src, dst = (0, 0, 0), (1, 3, 5)
+        for order in DIMENSION_ORDERS:
+            route = torus.dimension_order_route(src, dst, order)
+            assert route[0] == src
+            assert route[-1] == dst
+            assert len(route) - 1 == torus.min_hops(src, dst)
+
+    def test_route_steps_are_adjacent(self):
+        torus = Torus3D((4, 4, 8))
+        route = torus.dimension_order_route((0, 0, 0), (2, 1, 6), (2, 0, 1))
+        for a, b in zip(route, route[1:]):
+            assert torus.min_hops(a, b) == 1
+
+    def test_route_uses_wraparound(self):
+        torus = Torus3D((4, 1, 1))
+        route = torus.dimension_order_route((0, 0, 0), (3, 0, 0), (0, 1, 2))
+        assert route == [(0, 0, 0), (3, 0, 0)]
+
+    def test_bad_order_rejected(self):
+        torus = Torus3D((2, 2, 2))
+        with pytest.raises(ValueError):
+            torus.dimension_order_route((0, 0, 0), (1, 1, 1), (0, 0, 1))
+
+    def test_six_orders_give_at_most_six_routes(self):
+        torus = Torus3D((4, 4, 8))
+        routes = torus.all_minimal_routes((0, 0, 0), (1, 1, 1))
+        assert len(routes) == 6  # all axes move, so all orders distinct
+        routes_1d = torus.all_minimal_routes((0, 0, 0), (2, 0, 0))
+        assert len(routes_1d) == 1  # single-axis: all orders identical
+
+    def test_all_minimal_routes_same_length(self):
+        torus = Torus3D((4, 4, 8))
+        src, dst = (0, 1, 2), (3, 3, 7)
+        want = torus.min_hops(src, dst)
+        for route in torus.all_minimal_routes(src, dst):
+            assert len(route) - 1 == want
+
+
+class TestResponseRoutes:
+    def test_response_route_is_xyz_mesh(self):
+        """Responses never cross the wraparound (mesh-restricted XYZ)."""
+        torus = Torus3D((4, 4, 4))
+        route = torus.response_route((3, 0, 0), (0, 0, 0))
+        # Mesh-restricted: walks 3 -> 0 through 2, 1 instead of wrapping.
+        assert route == [(3, 0, 0), (2, 0, 0), (1, 0, 0), (0, 0, 0)]
+
+    def test_response_route_order_is_xyz(self):
+        torus = Torus3D((4, 4, 4))
+        route = torus.response_route((0, 0, 0), (2, 2, 2))
+        xs = [c[0] for c in route]
+        # X settles before Y moves, Y before Z.
+        first_y_move = next(i for i, c in enumerate(route) if c[1] != 0)
+        assert all(x == 2 for x in xs[first_y_move:])
+
+    def test_response_route_never_wraps(self):
+        torus = Torus3D((4, 4, 4))
+        for src in [(0, 0, 0), (3, 3, 3), (1, 2, 3)]:
+            for dst in [(0, 0, 0), (3, 0, 2)]:
+                route = torus.response_route(src, dst)
+                for a, b in zip(route, route[1:]):
+                    deltas = [abs(x - y) for x, y in zip(a, b)]
+                    assert sorted(deltas) == [0, 0, 1]  # no modular jumps
+
+
+class TestNodesWithin:
+    def test_zero_hops_is_self(self):
+        torus = Torus3D((4, 4, 8))
+        assert torus.nodes_within((1, 1, 1), 0) == [(1, 1, 1)]
+
+    def test_one_hop_ball(self):
+        torus = Torus3D((4, 4, 8))
+        ball = torus.nodes_within((0, 0, 0), 1)
+        assert len(ball) == 7  # self + 6 neighbors
+
+    def test_diameter_ball_is_whole_machine(self):
+        torus = Torus3D((4, 4, 8))
+        assert len(torus.nodes_within((2, 1, 3), torus.dims.diameter)) == 128
+
+    def test_small_torus_neighbor_dedup(self):
+        # On a 2-wide axis, +1 and -1 reach the same node.
+        torus = Torus3D((2, 2, 2))
+        assert len(torus.nodes_within((0, 0, 0), 1)) == 4
