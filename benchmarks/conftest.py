@@ -10,6 +10,18 @@ import pytest
 
 from repro.md import Decomposition, MdEngine
 from repro.netsim import NetworkMachine
+from repro.runner import ResultCache
+
+
+@pytest.fixture(scope="session")
+def runner_cache(tmp_path_factory):
+    """A session-wide result cache for runner-driven benchmark sweeps.
+
+    Sweeps declared by several benchmark modules (e.g. the Figure 9a and
+    9b files share the water grid) are computed once and served from the
+    cache afterwards.
+    """
+    return ResultCache(tmp_path_factory.mktemp("runner-cache"))
 
 
 @pytest.fixture(scope="session")

@@ -1,10 +1,13 @@
 """Figure 11: network-fence barrier latency vs hop count.
 
-GC-to-GC fences on the simulated 128-node (4 x 4 x 8) machine.  Paper
-results: 51.5 ns intra-node (0 hops), a linear region of ~91.2 ns fixed +
-~51.8 ns per hop, and ~504 ns for the 8-hop global barrier; the fence
-per-hop cost exceeds the 34.2 ns messaging per-hop because fences traverse
-all valid paths at every hop.
+GC-to-GC fences on the simulated 128-node (4 x 4 x 8) machine; the
+synchronization-domain grid is declared once in
+``repro.runner.experiments`` (``FIG11_SWEEP``) and executed through the
+parallel runner with the session result cache.  Paper results: 51.5 ns
+intra-node (0 hops), a linear region of ~91.2 ns fixed + ~51.8 ns per
+hop, and ~504 ns for the 8-hop global barrier; the fence per-hop cost
+exceeds the 34.2 ns messaging per-hop because fences traverse all valid
+paths at every hop.
 """
 
 import pytest
@@ -23,12 +26,15 @@ from repro.config import (
     PAPER_LATENCY_PER_HOP_NS,
 )
 from repro.fence import FenceEngine
+from repro.runner import run_sweep
+from repro.runner.experiments import FIG11_SWEEP
 
 
 @pytest.fixture(scope="module")
-def fence_curve(machine128):
-    engine = FenceEngine(machine128)
-    return {hops: engine.barrier_latency(hops) for hops in range(9)}
+def fence_curve(runner_cache):
+    sweep = run_sweep(FIG11_SWEEP, jobs=1, cache=runner_cache)
+    (run,) = sweep.runs
+    return {int(h): ns for h, ns in run.result["latencies"].items()}
 
 
 def test_fig11_curve_and_fit(fence_curve, benchmark):

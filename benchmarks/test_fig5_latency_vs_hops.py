@@ -2,8 +2,11 @@
 
 Measured on the simulated 128-node (4 x 4 x 8) machine by counted-write
 ping-pong with 16-byte payloads, averaged over sampled GC placements.
-Paper result: linear fit of 55.9 ns fixed + 34.2 ns per hop; minimum
-single-hop latency ~55 ns; the 0-hop point lies below the fit.
+The parameter grid is declared once in ``repro.runner.experiments``
+(``FIG5_SWEEP``) and executed through the parallel runner, memoized in
+the session result cache.  Paper result: linear fit of 55.9 ns fixed +
+34.2 ns per hop; minimum single-hop latency ~55 ns; the 0-hop point lies
+below the fit.
 """
 
 import pytest
@@ -15,19 +18,21 @@ from repro.config import (
     PAPER_MIN_ONE_HOP_LATENCY_NS,
 )
 from repro.netsim import CoreAddress, PingPongHarness
+from repro.runner import run_sweep
+from repro.runner.experiments import FIG5_SWEEP
 
 
 @pytest.fixture(scope="module")
-def curve(machine128):
-    harness = PingPongHarness(machine128, seed=17)
-    return harness.latency_vs_hops(max_hops=8, samples_per_hop=15)
+def curve(runner_cache):
+    sweep = run_sweep(FIG5_SWEEP, jobs=1, cache=runner_cache)
+    (run,) = sweep.runs
+    return {int(h): mean for h, mean in run.result["points"].items()}
 
 
 def test_fig5_curve_and_fit(curve, benchmark):
-    points = {h: s.mean for h, s in curve.items()}
-    fit = benchmark(fit_latency_vs_hops, points)
-    rows = [(h, f"{points[h]:.1f}", f"{fit.predict(h):.1f}")
-            for h in sorted(points)]
+    fit = benchmark(fit_latency_vs_hops, curve)
+    rows = [(h, f"{curve[h]:.1f}", f"{fit.predict(h):.1f}")
+            for h in sorted(curve)]
     print("\nFIGURE 5 (regenerated): one-way latency vs hops")
     print(format_table(("hops", "measured ns", "fit ns"), rows))
     print(comparison_table([
@@ -43,9 +48,18 @@ def test_fig5_curve_and_fit(curve, benchmark):
 
 
 def test_fig5_zero_hop_below_fit(curve, benchmark):
-    points = {h: s.mean for h, s in curve.items()}
-    fit = benchmark(fit_latency_vs_hops, points)
-    assert points[0] < fit.fixed_ns
+    fit = benchmark(fit_latency_vs_hops, curve)
+    assert curve[0] < fit.fixed_ns
+
+
+def test_fig5_precomputed_fit_matches(curve, runner_cache, benchmark):
+    """The fit the runner stores alongside the points is the same fit."""
+    sweep = benchmark(run_sweep, FIG5_SWEEP, jobs=1, cache=runner_cache)
+    stored = sweep.runs[0].result["fit"]
+    fit = fit_latency_vs_hops(curve)
+    assert stored["fixed_ns"] == pytest.approx(fit.fixed_ns)
+    assert stored["per_hop_ns"] == pytest.approx(fit.per_hop_ns)
+    assert sweep.cache_hits == len(sweep.runs)
 
 
 def test_fig5_minimum_single_hop(machine128, benchmark):

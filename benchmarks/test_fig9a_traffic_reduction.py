@@ -1,9 +1,12 @@
 """Figure 9a: reduction in bits transmitted over channels.
 
 Water-only benchmark on a 2 x 2 x 2 (8-node) machine across atom counts.
-Paper results: INZ alone reduces traffic 32-40%; INZ plus the particle
-cache reduces it 45-62%, with the combined reduction *decreasing* as atom
-count grows (higher cache miss rate).
+The atom-count grid is declared once in ``repro.runner.experiments``
+(``FIG9_SWEEP``) and executed through the parallel runner; the Figure 9b
+module consumes the same cached sweep.  Paper results: INZ alone reduces
+traffic 32-40%; INZ plus the particle cache reduces it 45-62%, with the
+combined reduction *decreasing* as atom count grows (higher cache miss
+rate).
 """
 
 import pytest
@@ -13,64 +16,51 @@ from repro.config import (
     PAPER_INZ_PCACHE_REDUCTION_RANGE,
     PAPER_INZ_REDUCTION_RANGE,
 )
-from repro.fullsim import FULL, TrafficModel, compare_configurations
-
-ATOM_COUNTS = (2048, 4096, 8192, 16384)
+from repro.fullsim import FULL, TrafficModel
+from repro.runner import run_sweep
+from repro.runner.experiments import FIG9_SWEEP
 
 
 @pytest.fixture(scope="module")
-def sweep(water_runs):
-    results = {}
-    for n in ATOM_COUNTS:
-        engine, snapshots, decomp = water_runs.get(n)
-        comparison = compare_configurations(snapshots, decomp,
-                                            engine.field.cutoff)
-        model = TrafficModel(decomp, FULL, engine.field.cutoff)
-        for snapshot in snapshots:
-            traffic = model.process_step(snapshot)
-        hit_rate = traffic.pcache_hits / max(
-            traffic.pcache_hits + traffic.pcache_misses, 1)
-        results[n] = (comparison, hit_rate)
-    return results
+def sweep(runner_cache):
+    result = run_sweep(FIG9_SWEEP, jobs=1, cache=runner_cache)
+    return {run.params["n_atoms"]: run.result for run in result.runs}
 
 
 def test_fig9a_reduction_bands(sweep, benchmark):
-    benchmark(lambda: [c.reduction_vs_baseline("inz+pcache")
-                       for c, __ in sweep.values()])
+    benchmark(lambda: [r["reductions"]["inz+pcache"] for r in sweep.values()])
     rows = []
-    for n, (comparison, hit_rate) in sorted(sweep.items()):
-        inz_red = comparison.reduction_vs_baseline("inz")
-        full_red = comparison.reduction_vs_baseline("inz+pcache")
-        rows.append((n, f"{inz_red:.1%}", f"{full_red:.1%}",
-                     f"{hit_rate:.0%}"))
+    for n, result in sorted(sweep.items()):
+        rows.append((n, f"{result['reductions']['inz']:.1%}",
+                     f"{result['reductions']['inz+pcache']:.1%}",
+                     f"{result['pcache_hit_rate']:.0%}"))
     print("\nFIGURE 9a (regenerated): channel-traffic reduction")
     print(format_table(("atoms", "INZ only", "INZ+pcache", "pcache hits"),
                        rows))
     print(f"paper: INZ {PAPER_INZ_REDUCTION_RANGE}, "
           f"INZ+pcache {PAPER_INZ_PCACHE_REDUCTION_RANGE}")
-    for n, (comparison, __) in sweep.items():
-        assert within_band(comparison.reduction_vs_baseline("inz"),
+    for result in sweep.values():
+        assert within_band(result["reductions"]["inz"],
                            PAPER_INZ_REDUCTION_RANGE, slack=0.12)
-        assert within_band(comparison.reduction_vs_baseline("inz+pcache"),
+        assert within_band(result["reductions"]["inz+pcache"],
                            PAPER_INZ_PCACHE_REDUCTION_RANGE, slack=0.12)
 
 
 def test_fig9a_pcache_benefit_decreases_with_atoms(sweep, benchmark):
     """The paper's cache-pressure trend."""
     reductions = benchmark(
-        lambda: [sweep[n][0].reduction_vs_baseline("inz+pcache")
-                 for n in sorted(sweep)])
+        lambda: [sweep[n]["reductions"]["inz+pcache"] for n in sorted(sweep)])
     assert reductions[0] > reductions[-1]
-    hit_rates = [sweep[n][1] for n in sorted(sweep)]
+    hit_rates = [sweep[n]["pcache_hit_rate"] for n in sorted(sweep)]
     assert hit_rates[0] > hit_rates[-1]
 
 
 def test_fig9a_inz_always_helps(sweep, benchmark):
-    benchmark(lambda: sweep[2048][0].reduction_vs_baseline("inz"))
-    for n, (comparison, __) in sweep.items():
-        assert comparison.reduction_vs_baseline("inz") > 0.25
-        assert (comparison.reduction_vs_baseline("inz+pcache")
-                > comparison.reduction_vs_baseline("inz"))
+    benchmark(lambda: sweep[2048]["reductions"]["inz"])
+    for result in sweep.values():
+        assert result["reductions"]["inz"] > 0.25
+        assert (result["reductions"]["inz+pcache"]
+                > result["reductions"]["inz"])
 
 
 def test_fig9a_step_cost_benchmark(benchmark, water_runs):

@@ -1,6 +1,9 @@
 """Figure 9b: overall MD application speedup with compression enabled.
 
-Same water sweep as Figure 9a; speedup is the ratio of compression-off to
+Same water sweep as Figure 9a, declared once in
+``repro.runner.experiments`` (``FIG9_SWEEP``); because both figure
+modules run through the session result cache, the sweep is simulated
+once per session.  Speedup is the ratio of compression-off to
 compression-on time-step durations from the full-system phase model.
 Paper result: speedups between 1.18 and 1.62 across the size sweep.
 """
@@ -9,49 +12,45 @@ import pytest
 
 from repro.analysis import format_table, within_band
 from repro.config import PAPER_APP_SPEEDUP_RANGE
-from repro.fullsim import evaluate_system
-
-ATOM_COUNTS = (2048, 4096, 8192, 16384)
+from repro.fullsim import evaluate_water_system
+from repro.runner import run_sweep
+from repro.runner.experiments import FIG9_SWEEP
 
 
 @pytest.fixture(scope="module")
-def sweep(water_runs):
-    results = {}
-    for n in ATOM_COUNTS:
-        engine, snapshots, decomp = water_runs.get(n)
-        results[n] = evaluate_system(snapshots, decomp, engine.field.cutoff)
-    return results
+def sweep(runner_cache):
+    result = run_sweep(FIG9_SWEEP, jobs=1, cache=runner_cache)
+    return {run.params["n_atoms"]: run.result for run in result.runs}
 
 
 def test_fig9b_speedup_band(sweep, benchmark):
-    benchmark(lambda: [r.speedup() for r in sweep.values()])
+    benchmark(lambda: [r["speedups"]["inz+pcache"] for r in sweep.values()])
     rows = []
     for n, result in sorted(sweep.items()):
         rows.append((n,
-                     f"{result.outcomes['baseline'].mean_step_ns:.0f}",
-                     f"{result.outcomes['inz+pcache'].mean_step_ns:.0f}",
-                     f"{result.speedup(config='inz'):.2f}",
-                     f"{result.speedup():.2f}"))
+                     f"{result['configs']['baseline']['mean_step_ns']:.0f}",
+                     f"{result['configs']['inz+pcache']['mean_step_ns']:.0f}",
+                     f"{result['speedups']['inz']:.2f}",
+                     f"{result['speedups']['inz+pcache']:.2f}"))
     print("\nFIGURE 9b (regenerated): application speedup")
     print(format_table(("atoms", "base step ns", "comp step ns",
                         "INZ speedup", "INZ+pcache speedup"), rows))
     print(f"paper band: {PAPER_APP_SPEEDUP_RANGE}")
     for result in sweep.values():
-        assert within_band(result.speedup(), PAPER_APP_SPEEDUP_RANGE,
-                           slack=0.10)
+        assert within_band(result["speedups"]["inz+pcache"],
+                           PAPER_APP_SPEEDUP_RANGE, slack=0.10)
 
 
 def test_fig9b_full_compression_beats_inz_only(sweep, benchmark):
-    benchmark(lambda: sweep[2048].speedup(config="inz"))
+    benchmark(lambda: sweep[2048]["speedups"]["inz"])
     for result in sweep.values():
-        assert result.speedup() > result.speedup(config="inz") > 1.0
+        assert (result["speedups"]["inz+pcache"]
+                > result["speedups"]["inz"] > 1.0)
 
 
-def test_fig9b_evaluation_benchmark(benchmark, water_runs):
-    engine, snapshots, decomp = water_runs.get(2048)
-
-    def evaluate():
-        return evaluate_system(snapshots, decomp, engine.field.cutoff)
-
-    result = benchmark.pedantic(evaluate, rounds=2, iterations=1)
-    assert result.speedup() > 1.0
+def test_fig9b_evaluation_benchmark(benchmark):
+    """Wall-clock cost of one full (uncached) water-system evaluation."""
+    result = benchmark.pedantic(
+        evaluate_water_system, kwargs={"n_atoms": 2048},
+        rounds=2, iterations=1)
+    assert result["speedups"]["inz+pcache"] > 1.0

@@ -2,10 +2,10 @@
 
 The paper's machines "comprise up to 512 nodes" (Section II-B) and the
 network-fence barrier "scales linearly with respect to the network
-diameter" (Section V-F).  This benchmark builds the full 8x8x8 torus
-(reduced-size chips keep construction tractable; inter-node behavior is
-unchanged) and verifies the linear extrapolation from the 128-node
-machine's fence fit to the 512-node global barrier.
+diameter" (Section V-F).  Both 512-node studies are declared as runner
+sweeps in ``repro.runner.experiments`` (``SCALING_512_FENCE_SWEEP`` and
+``SCALING_512_LATENCY_SWEEP``) over the full 8x8x8 torus (reduced-size
+chips keep construction tractable; inter-node behavior is unchanged).
 
 Fence copies are reduced to one per direction here (instead of the
 2 slices x 4 VCs coverage) to bound the packet count at this scale; the
@@ -16,39 +16,40 @@ timing difference that choice makes is itself measured by
 import pytest
 
 from repro.analysis import fit_latency_vs_hops
-from repro.fence import FenceEngine
-from repro.netsim import CoreAddress, NetworkMachine, PingPongHarness
+from repro.runner import run_sweep
+from repro.runner.experiments import (
+    SCALING_512_FENCE_SWEEP,
+    SCALING_512_LATENCY_SWEEP,
+)
 
 
-@pytest.fixture(scope="module")
-def machine512():
-    return NetworkMachine(dims=(8, 8, 8), chip_cols=6, chip_rows=6, seed=9)
-
-
-def test_512_node_global_barrier_scales_linearly(machine512, benchmark):
-    engine = FenceEngine(machine512, request_vcs=1, slices=1)
-    curve = {hops: engine.barrier_latency(hops) for hops in (1, 2, 4, 8)}
-    global_latency = benchmark.pedantic(
-        engine.barrier_latency, args=(12,), rounds=1, iterations=1)
+def test_512_node_global_barrier_scales_linearly(runner_cache, benchmark):
+    sweep = benchmark.pedantic(
+        run_sweep, args=(SCALING_512_FENCE_SWEEP,),
+        kwargs={"jobs": 1, "cache": runner_cache}, rounds=1, iterations=1)
+    (run,) = sweep.runs
+    latencies = {int(h): ns for h, ns in run.result["latencies"].items()}
+    curve = {hops: latencies[hops] for hops in (1, 2, 4, 8)}
+    global_latency = latencies[12]
     fit = fit_latency_vs_hops(curve)
     predicted = fit.predict(12)
     print(f"\n512-node global barrier (diameter 12): "
           f"{global_latency:.0f} ns; linear fit from small domains "
           f"predicts {predicted:.0f} ns")
+    assert run.result["num_nodes"] == 512
     assert global_latency == pytest.approx(predicted, rel=0.03)
     assert fit.r_squared > 0.999
 
 
-def test_512_node_latency_extends_128_node_line(machine512, benchmark):
+def test_512_node_latency_extends_128_node_line(runner_cache, benchmark):
     """Message latency at long distances stays on the same line measured
     on the 128-node machine (per-hop cost is distance-independent)."""
-    harness = PingPongHarness(machine512, seed=10)
-
-    def measure():
-        return harness.latency_vs_hops(max_hops=12, samples_per_hop=4)
-
-    curve = benchmark.pedantic(measure, rounds=1, iterations=1)
-    fit = fit_latency_vs_hops({h: s.mean for h, s in curve.items()})
+    sweep = benchmark.pedantic(
+        run_sweep, args=(SCALING_512_LATENCY_SWEEP,),
+        kwargs={"jobs": 1, "cache": runner_cache}, rounds=1, iterations=1)
+    (run,) = sweep.runs
+    points = {int(h): mean for h, mean in run.result["points"].items()}
+    fit = fit_latency_vs_hops(points)
     print(f"\n512-node fit: {fit.fixed_ns:.1f} + "
           f"{fit.per_hop_ns:.2f} ns/hop (128-node machine: ~34-35 ns/hop)")
     assert fit.per_hop_ns == pytest.approx(34.2, rel=0.12)

@@ -1,51 +1,70 @@
 #!/usr/bin/env python
 """Latency survey: reproduce the shape of Figures 5 and 6 interactively.
 
-Measures one-way end-to-end latency against inter-node hop count with
-counted-write ping-pongs on a simulated machine, fits the linear model the
+Declares a latency grid over torus sizes through the parallel runner
+(``repro.runner``), fans it out across worker processes with result
+caching (rerunning the survey is near-free), fits the linear model the
 paper reports (55.9 ns + 34.2 ns/hop on the real 128-node Anton 3), and
 prints the minimum-latency component breakdown.
 
 Run:  python examples/latency_survey.py [--nodes 4 4 8] [--samples 10]
+      [--jobs 4] [--cache-dir .repro-cache]
 """
 
 import argparse
 
-from repro.analysis import fit_latency_vs_hops, format_table
+from repro.analysis import format_table
 from repro.machine import minimum_one_hop_breakdown
-from repro.netsim import NetworkMachine, PingPongHarness
+from repro.runner import ParameterGrid, ResultCache, Sweep, run_sweep
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, nargs=3, default=(2, 2, 4),
-                        help="torus dimensions (default 2 2 4)")
+    parser.add_argument("--nodes", type=int, nargs=3, action="append",
+                        default=None, metavar=("X", "Y", "Z"),
+                        help="torus dimensions; repeat to sweep several "
+                             "sizes (default 2 2 4)")
     parser.add_argument("--samples", type=int, default=10,
                         help="GC placements sampled per hop count")
     parser.add_argument("--full-chips", action="store_true",
                         help="use full 24x12 chips (slower to build)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache directory ('' disables)")
     args = parser.parse_args()
 
-    if args.full_chips:
-        machine = NetworkMachine(dims=tuple(args.nodes), seed=3)
-    else:
-        machine = NetworkMachine(dims=tuple(args.nodes), chip_cols=12,
-                                 chip_rows=6, seed=3)
-    print(f"machine: {machine.torus.dims.num_nodes} nodes "
-          f"{tuple(args.nodes)}, diameter "
-          f"{machine.torus.dims.diameter} hops\n")
+    sizes = [tuple(dims) for dims in (args.nodes or [(2, 2, 4)])]
+    grid = {"dims": [tuple(d) for d in sizes],
+            "machine_seed": 3, "harness_seed": 4,
+            "samples_per_hop": args.samples}
+    if not args.full_chips:
+        grid.update(chip_cols=12, chip_rows=6)
+    sweep = Sweep("fig5_latency", ParameterGrid(grid), label="latency-survey")
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
-    harness = PingPongHarness(machine, seed=4)
-    curve = harness.latency_vs_hops(samples_per_hop=args.samples)
-    points = {h: s.mean for h, s in curve.items()}
-    fit = fit_latency_vs_hops(points)
-
-    rows = [(h, f"{points[h]:.1f}", f"{fit.predict(h):.1f}")
-            for h in sorted(points)]
-    print(format_table(("hops", "mean one-way ns", "linear fit ns"), rows))
-    print(f"\nfit: {fit.fixed_ns:.1f} ns fixed + "
-          f"{fit.per_hop_ns:.1f} ns/hop (r^2 = {fit.r_squared:.4f})")
-    print("paper (128-node Anton 3): 55.9 ns + 34.2 ns/hop\n")
+    result = run_sweep(sweep, jobs=args.jobs, cache=cache)
+    for run in result.runs:
+        data = run.result
+        origin = "cache" if run.cached else f"{run.elapsed_s:.1f}s"
+        print(f"machine: {data['num_nodes']} nodes "
+              f"{tuple(run.params['dims'])} ({origin})\n")
+        points = {int(h): mean for h, mean in data["points"].items()}
+        fit = data["fit"]
+        if fit is None:
+            # Fewer than two nonzero hop counts: nothing to fit against.
+            rows = [(h, f"{points[h]:.1f}", "-") for h in sorted(points)]
+        else:
+            rows = [(h, f"{points[h]:.1f}",
+                     f"{fit['fixed_ns'] + fit['per_hop_ns'] * h:.1f}")
+                    for h in sorted(points)]
+        print(format_table(("hops", "mean one-way ns", "linear fit ns"),
+                           rows))
+        if fit is not None:
+            print(f"\nfit: {fit['fixed_ns']:.1f} ns fixed + "
+                  f"{fit['per_hop_ns']:.1f} ns/hop "
+                  f"(r^2 = {fit['r_squared']:.4f})")
+        print("paper (128-node Anton 3): 55.9 ns + 34.2 ns/hop\n")
 
     print("minimum one-hop breakdown (Figure 6 shape):")
     entries = minimum_one_hop_breakdown()

@@ -1,60 +1,54 @@
 #!/usr/bin/env python
 """Water-box compression study: the Figure 9/12 pipeline, end to end.
 
-Runs a real MD simulation of an LJ-water box, partitions it across an
-8-node simulated machine, pushes every exported position and returned
-force through the actual INZ and particle-cache codecs, and reports the
-channel-traffic reduction, the application speedup, and an ASCII machine
-activity plot.
+Declares a water sweep over atom counts through the parallel runner
+(``repro.runner``), which runs a real MD simulation per grid point,
+pushes every exported position and returned force through the actual
+INZ and particle-cache codecs, and reports the channel-traffic
+reduction and the application speedup; completed runs are served from
+the result cache on repeat invocations.  ``--activity`` additionally
+regenerates the ASCII machine-activity plot (Figure 12's shape) for
+the first grid point — that plot needs the raw MD snapshots, so it
+re-simulates the MD run outside the cache.
 
-Run:  python examples/water_compression.py [--atoms 4096] [--steps 7]
+Run:  python examples/water_compression.py [--atoms 4096 --atoms 8192]
+      [--steps 7] [--jobs 4] [--cache-dir .repro-cache] [--activity]
 """
 
 import argparse
 
 from repro.analysis import format_table, render_ascii, trace_from_breakdowns
-from repro.fullsim import (
-    BASELINE,
-    FULL,
-    INZ_ONLY,
-    TimestepModel,
-    TrafficModel,
-    evaluate_system,
-)
+from repro.fullsim import BASELINE, FULL, TimestepModel, TrafficModel
 from repro.md import Decomposition, MdEngine
+from repro.runner import ParameterGrid, ResultCache, Sweep, run_sweep
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--atoms", type=int, default=4096)
-    parser.add_argument("--steps", type=int, default=7)
-    parser.add_argument("--seed", type=int, default=1)
-    args = parser.parse_args()
-
-    print(f"running MD: {args.atoms} LJ-water atoms, "
-          f"{args.steps} measured steps...")
-    engine = MdEngine.water(args.atoms, seed=args.seed)
-    snapshots = engine.run(args.steps)
-    record = snapshots[-1].record
-    print(f"  box {engine.system.box:.1f} A, T = {record.temperature:.0f} K, "
-          f"{record.num_pairs} range-limited pairs/step\n")
-
-    decomp = Decomposition(box=engine.system.box, node_dims=(2, 2, 2))
-    result = evaluate_system(snapshots, decomp, engine.field.cutoff)
-
-    rows = []
-    for label in ("baseline", "inz", "inz+pcache"):
-        outcome = result.outcomes[label]
-        rows.append((label, f"{outcome.total_bits / 8e6:.2f} MB",
-                     f"{result.traffic_reduction(label):.1%}",
-                     f"{outcome.mean_step_ns:.0f} ns"))
-    print(format_table(("config", "channel traffic", "reduction",
-                        "mean step"), rows))
-    print(f"\napplication speedup (compression on vs off): "
-          f"{result.speedup():.2f}x")
+def print_sweep_tables(result) -> None:
+    for run in result.runs:
+        data = run.result
+        origin = "cache" if run.cached else f"{run.elapsed_s:.1f}s"
+        print(f"\n{data['n_atoms']} atoms on {data['num_nodes']} nodes "
+              f"({origin}):")
+        rows = []
+        for label in ("baseline", "inz", "inz+pcache"):
+            config = data["configs"][label]
+            reduction = (0.0 if label == "baseline"
+                         else data["reductions"][label])
+            rows.append((label, f"{config['total_bits'] / 8e6:.2f} MB",
+                         f"{reduction:.1%}",
+                         f"{config['mean_step_ns']:.0f} ns"))
+        print(format_table(("config", "channel traffic", "reduction",
+                            "mean step"), rows))
+        print(f"application speedup (compression on vs off): "
+              f"{data['speedups']['inz+pcache']:.2f}x")
     print("paper: INZ 32-40%, INZ+pcache 45-62%, speedup 1.18-1.62\n")
 
+
+def print_activity(n_atoms: int, steps: int, seed: int) -> None:
     print("machine activity, compression off vs on (Figure 12 shape):")
+    engine = MdEngine.water(n_atoms, seed=seed)
+    snapshots = engine.run(steps)
+    decomp = Decomposition(box=engine.system.box, node_dims=(2, 2, 2))
     model = TimestepModel()
     for config in (BASELINE, FULL):
         traffic_model = TrafficModel(decomp, config, engine.field.cutoff)
@@ -66,10 +60,42 @@ def main() -> None:
             traffics.append(traffic)
             breakdowns.append(model.evaluate(
                 traffic, num_pairs=snapshot.record.num_pairs,
-                num_atoms=args.atoms, num_nodes=8))
+                num_atoms=n_atoms, num_nodes=8))
         trace = trace_from_breakdowns(breakdowns[:2], traffics[:2])
         print(f"\n--- {config.label} ---")
         print(render_ascii(trace, bins=16))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--atoms", type=int, action="append", default=None,
+                        help="atom count; repeat to sweep (default 4096)")
+    parser.add_argument("--steps", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache directory ('' disables)")
+    parser.add_argument("--activity", action="store_true",
+                        help="also draw the ASCII activity plot "
+                             "(re-simulates the MD run; not cached)")
+    args = parser.parse_args()
+
+    atom_counts = args.atoms or [4096]
+    sweep = Sweep(
+        "fig9_water",
+        ParameterGrid({"n_atoms": atom_counts, "steps": args.steps,
+                       "seed": args.seed}),
+        label="water-compression")
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    print(f"running MD water sweep: atoms {atom_counts}, "
+          f"{args.steps} measured steps, jobs={args.jobs}...")
+    result = run_sweep(sweep, jobs=args.jobs, cache=cache)
+    print_sweep_tables(result)
+
+    if args.activity:
+        print_activity(atom_counts[0], args.steps, args.seed)
 
 
 if __name__ == "__main__":

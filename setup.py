@@ -1,9 +1,27 @@
-"""Setup shim for environments without the wheel package (offline installs).
+"""Packaging for the Anton 3 network reproduction.
 
-``pip install -e . --no-build-isolation`` uses this via the legacy path
-when PEP 517 editable builds are unavailable.
+``pip install -e .`` installs the ``repro`` package from ``src/`` (no
+PYTHONPATH hacks needed) and exposes the ``repro-runner`` console script
+for the parallel experiment runner.  Offline environments without the
+wheel package can use ``pip install -e . --no-build-isolation``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-anton3-network",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'The Specialized High-Performance Network on "
+        "Anton 3' (HPCA 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-runner=repro.runner.cli:main",
+        ],
+    },
+)

@@ -14,6 +14,7 @@ Reproduction of "The Specialized High-Performance Network on Anton 3"
 * :mod:`repro.machine` — floorplan, component, and latency models.
 * :mod:`repro.fullsim` — full-system traffic and time-step models.
 * :mod:`repro.analysis` — fits, area model, activity plots, reports.
+* :mod:`repro.runner` — parallel, cached experiment runner and CLI.
 """
 
 from . import config

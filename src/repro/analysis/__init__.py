@@ -7,6 +7,14 @@ from .activity import (
     render_ascii,
     trace_from_breakdowns,
 )
+from .aggregate import (
+    flatten_mapping,
+    load_payload,
+    rows_to_csv,
+    sweep_rows,
+    sweep_table,
+    sweeps_to_csv,
+)
 from .area import PAPER_TABLE2, PAPER_TABLE3, AreaModel, AreaRow
 from .fits import LinearFit, fit_latency_vs_hops
 from .report import Comparison, comparison_table, format_table, within_band
@@ -17,6 +25,12 @@ __all__ = [
     "Interval",
     "render_ascii",
     "trace_from_breakdowns",
+    "flatten_mapping",
+    "load_payload",
+    "rows_to_csv",
+    "sweep_rows",
+    "sweep_table",
+    "sweeps_to_csv",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "AreaModel",

@@ -1,0 +1,129 @@
+"""Aggregation of runner sweep results into tables, CSV, and JSON.
+
+The parallel runner (:mod:`repro.runner`) emits one record per run:
+``{"experiment": name, "params": {...}, "result": {...}}``.  The helpers
+here flatten those records into rectangular rows so a sweep can be
+printed next to the paper's figures (:func:`sweep_table`), exported for
+plotting (:func:`rows_to_csv`), or reloaded from a results file
+(:func:`load_payload`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .report import format_table
+
+
+def flatten_mapping(
+    mapping: Mapping[str, object], prefix: str = ""
+) -> Dict[str, object]:
+    """Flatten nested dicts into dotted keys; lists become JSON strings.
+
+    Example:
+        >>> flatten_mapping({"fit": {"fixed_ns": 55.9}, "dims": [4, 4, 8]})
+        {'fit.fixed_ns': 55.9, 'dims': '[4, 4, 8]'}
+    """
+    flat: Dict[str, object] = {}
+    for key, value in mapping.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_mapping(value, prefix=f"{name}."))
+        elif isinstance(value, (list, tuple)):
+            flat[name] = json.dumps(list(value))
+        else:
+            flat[name] = value
+    return flat
+
+
+def sweep_rows(
+    runs: Iterable[Mapping[str, object]],
+) -> Tuple[List[str], List[List[object]]]:
+    """Rectangularize run records into ``(headers, rows)``.
+
+    Headers are the union of flattened parameter keys followed by the
+    union of flattened result keys, each in sorted order; a result key
+    that collides with a parameter key is prefixed with ``result.``.
+    """
+    flattened = []
+    param_keys: set = set()
+    result_keys: set = set()
+    for run in runs:
+        params = flatten_mapping(run.get("params", {}) or {})
+        results = flatten_mapping(run.get("result", {}) or {})
+        param_keys.update(params)
+        result_keys.update(results)
+        flattened.append((params, results))
+    headers = sorted(param_keys)
+    result_headers = [
+        (key, f"result.{key}" if key in param_keys else key)
+        for key in sorted(result_keys)
+    ]
+    headers = headers + [shown for _, shown in result_headers]
+    rows = []
+    for params, results in flattened:
+        row: List[object] = [params.get(key, "") for key in sorted(param_keys)]
+        row.extend(results.get(key, "") for key, _ in result_headers)
+        rows.append(row)
+    return headers, rows
+
+
+def _compact(value: object) -> object:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value
+
+
+def sweep_table(runs: Iterable[Mapping[str, object]], title: str = "") -> str:
+    """A plain-text table of one sweep's runs (floats compacted)."""
+    headers, rows = sweep_rows(runs)
+    if not rows:
+        return f"{title}\n(no runs)" if title else "(no runs)"
+    table = format_table(headers, [[_compact(cell) for cell in row] for row in rows])
+    return f"{title}\n{table}" if title else table
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV text (full float precision) for ``headers``/``rows``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([repr(c) if isinstance(c, float) else c for c in row])
+    return buffer.getvalue()
+
+
+def sweeps_to_csv(sweeps: Iterable[Mapping[str, object]]) -> str:
+    """CSV for a whole payload; a ``sweep`` column labels each run."""
+    records = []
+    for sweep in sweeps:
+        for run in sweep.get("runs", []):
+            record = dict(run)
+            params = dict(record.get("params", {}) or {})
+            params["sweep"] = sweep.get("label", "")
+            record["params"] = params
+            records.append(record)
+    headers, rows = sweep_rows(records)
+    return rows_to_csv(headers, rows)
+
+
+def load_payload(text: str) -> List[Dict[str, object]]:
+    """Parse runner JSON output into a list of sweep records.
+
+    Accepts the ``{"sweeps": [...]}`` envelope the CLI emits, a bare
+    list of sweeps, or a single sweep object.
+    """
+    data = json.loads(text)
+    if isinstance(data, Mapping) and "sweeps" in data:
+        data = data["sweeps"]
+    if isinstance(data, Mapping):
+        data = [data]
+    sweeps = []
+    for entry in data:
+        if not isinstance(entry, Mapping) or "runs" not in entry:
+            raise ValueError("not a runner result payload")
+        sweeps.append(dict(entry))
+    return sweeps

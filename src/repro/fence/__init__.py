@@ -9,8 +9,10 @@ from .merge import (
     configure_fence_network,
     run_fence_flood,
 )
+from .surface import measure_fence_curve
 
 __all__ = [
+    "measure_fence_curve",
     "FenceEngine",
     "FencePattern",
     "FenceTiming",

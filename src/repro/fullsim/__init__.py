@@ -1,6 +1,7 @@
 """Full-system transaction-level simulator (Figures 9 and 12)."""
 
 from .speedup import ConfigOutcome, FullSystemResult, evaluate_system, water_benchmark
+from .surface import evaluate_water_system
 from .timestep import TimestepBreakdown, TimestepModel, TimestepParams
 from .traffic import (
     BASELINE,
@@ -17,6 +18,7 @@ __all__ = [
     "ConfigOutcome",
     "FullSystemResult",
     "evaluate_system",
+    "evaluate_water_system",
     "water_benchmark",
     "TimestepBreakdown",
     "TimestepModel",

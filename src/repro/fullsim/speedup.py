@@ -8,7 +8,7 @@ time-step phase model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..md.decomposition import Decomposition
@@ -32,6 +32,9 @@ class ConfigOutcome:
     total_bits: int
     mean_step_ns: float
     breakdowns: List[TimestepBreakdown]
+    #: Particle-cache hit rate per processed step (every step, warmup
+    #: included; 0.0 for configurations without a particle cache).
+    pcache_hit_rates: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -72,8 +75,11 @@ def evaluate_system(
                                      **pcache_kwargs)
         total_bits = 0
         breakdowns: List[TimestepBreakdown] = []
+        hit_rates: List[float] = []
         for i, snapshot in enumerate(snapshots):
             traffic = traffic_model.process_step(snapshot)
+            lookups = traffic.pcache_hits + traffic.pcache_misses
+            hit_rates.append(traffic.pcache_hits / lookups if lookups else 0.0)
             if i < pcache_warmup_steps:
                 continue
             total_bits += traffic.total_bits
@@ -85,7 +91,8 @@ def evaluate_system(
                    if breakdowns else 0.0)
         outcomes[config.label] = ConfigOutcome(
             label=config.label, total_bits=total_bits,
-            mean_step_ns=mean_ns, breakdowns=breakdowns)
+            mean_step_ns=mean_ns, breakdowns=breakdowns,
+            pcache_hit_rates=hit_rates)
     return FullSystemResult(
         atom_count=snapshots[0].positions_fp.shape[0] if snapshots else 0,
         num_nodes=num_nodes, outcomes=outcomes)

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine.seeding import derive_seed
 from ..engine.simulator import Simulator
 from ..topology.torus import Coord, DIMENSION_ORDERS, DIRECTIONS, Torus3D
 from .chip import ChipNetwork, GcEndpoint
@@ -39,7 +40,7 @@ class NetworkMachine:
             self.chips[coord] = ChipNetwork(
                 self.sim, coord, self.torus, params=params,
                 cols=chip_cols, rows=chip_rows,
-                rng=random.Random((seed, coord).__hash__() & 0x7FFFFFFF))
+                rng=random.Random(derive_seed(seed, coord)))
         self._wire_channels()
 
     def _wire_channels(self) -> None:

@@ -140,7 +140,10 @@ class PingPongHarness:
         """
         best = float("inf")
         pairs = self.sample_pairs_at_hops(1, samples)
-        ca_rows = (0, 1, 4, 5, 8, 9)  # channel-adapter attach rows
+        # Channel-adapter attach rows, restricted to rows that exist on
+        # reduced-size chips.
+        ca_rows = tuple(row for row in (0, 1, 4, 5, 8, 9)
+                        if row < self.machine.chip_rows)
         for i, (src_node, dst_node) in enumerate(pairs):
             if i % 2 == 0:
                 # Favorable placement: both GCs on the left edge column

@@ -1,0 +1,157 @@
+"""Content-addressed on-disk cache of completed experiment runs.
+
+A run is addressed by the SHA-256 digest of its canonical JSON config
+``{"experiment", "version", "params"}``; the cache stores one JSON file
+per digest under ``<root>/<digest[:2]>/<digest>.json`` so repeated
+sweeps are served from disk instead of re-simulating.  Entries record
+the config alongside the result, so the cache is self-describing and a
+``report`` can be generated from the cache directory alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional
+
+
+def _jsonify(value: object) -> object:
+    """JSON fallback for numpy scalars and sets."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+def canonical_json(payload: object) -> str:
+    """Compact, key-sorted JSON — the hashing and storage encoding."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonify)
+
+
+def canonicalize(payload: object) -> object:
+    """Round-trip ``payload`` through canonical JSON.
+
+    Normalizes tuples to lists and numpy scalars to Python numbers so a
+    freshly computed result is structurally identical to one reloaded
+    from the cache.
+    """
+    return json.loads(canonical_json(payload))
+
+
+def config_digest(
+    experiment: str, params: Mapping[str, object], version: int = 1
+) -> str:
+    """The content address of one run's configuration."""
+    blob = canonical_json(
+        {"experiment": experiment, "version": version, "params": params}
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """A directory of content-addressed experiment results."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(
+        self, experiment: str, params: Mapping[str, object], version: int = 1
+    ) -> Optional[Dict[str, object]]:
+        """The stored entry for this config, or None (corrupt == miss)."""
+        path = self.path_for(config_digest(experiment, params, version))
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            result = entry["result"]
+        except (OSError, ValueError, TypeError, KeyError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(result, (dict, list)):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        experiment: str,
+        params: Mapping[str, object],
+        result: object,
+        elapsed_s: Optional[float] = None,
+        version: int = 1,
+    ) -> Path:
+        """Store one completed run; the write is atomic (tmp + rename)."""
+        digest = config_digest(experiment, params, version)
+        entry = {
+            "experiment": experiment,
+            "version": version,
+            "digest": digest,
+            "params": canonicalize(params),
+            "result": canonicalize(result),
+            "elapsed_s": elapsed_s,
+        }
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(entry))
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self.stats.writes += 1
+        return path
+
+    def iter_entries(
+        self, experiment: Optional[str] = None
+    ) -> Iterator[Dict[str, object]]:
+        """All readable entries, optionally filtered by experiment name."""
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if experiment is None or entry.get("experiment") == experiment:
+                yield entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro.runner`` / ``repro-runner``.
+
+Subcommands:
+
+* ``list`` — registered experiments and named sweeps.
+* ``run EXPERIMENT [--set k=v ...]`` — one configuration, in-process.
+* ``sweep [NAME ...] [--smoke] [--jobs N]`` — fan a grid out across
+  worker processes, memoized through the on-disk result cache.
+* ``report`` — format sweep output (or the cache) as a table or CSV.
+
+Result payloads go to stdout (or ``--output``); progress and cache
+statistics go to stderr, so stdout is always machine-consumable and
+byte-stable for a given grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .experiment import Sweep, get_experiment, list_experiments
+from .execute import SweepResult, run_sweep, run_sweeps
+from .grid import ParameterGrid
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _parse_set(assignments: Sequence[str]) -> Dict[str, object]:
+    """Parse ``--set key=value`` overrides; values are JSON when valid."""
+    params: Dict[str, object] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {assignment!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(Path(args.cache_dir))
+
+
+def _payload(results: Sequence[SweepResult]) -> dict:
+    return {"sweeps": [result.record() for result in results]}
+
+
+def _emit(args: argparse.Namespace, results: Sequence[SweepResult]) -> None:
+    if args.format == "csv":
+        from ..analysis.aggregate import sweeps_to_csv
+
+        text = sweeps_to_csv([result.record() for result in results])
+    else:
+        text = json.dumps(_payload(results), sort_keys=True, indent=2) + "\n"
+    if args.output and args.output != "-":
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+
+def _summarize(results: Sequence[SweepResult], cache: Optional[ResultCache]) -> None:
+    for result in results:
+        print(
+            f"{result.label}: {len(result.runs)} runs, "
+            f"{result.cache_hits} cached, {result.cache_misses} executed "
+            f"({result.elapsed_s:.1f}s simulated work)",
+            file=sys.stderr,
+        )
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache {cache.root}: {stats.hits}/{stats.lookups} hits "
+            f"({stats.hit_rate:.0%}), {stats.writes} new entries",
+            file=sys.stderr,
+        )
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the cache"
+    )
+    parser.add_argument(
+        "--format", choices=("json", "csv"), default="json", help="output format"
+    )
+    parser.add_argument(
+        "--output", "-o", default="-", help="output path (default: stdout)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runner",
+        description="Parallel, cached experiment runner for the Anton 3 "
+        "network reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and named sweeps")
+
+    run_parser = sub.add_parser("run", help="run one experiment configuration")
+    run_parser.add_argument("experiment", help="registered experiment name")
+    run_parser.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a parameter (JSON values; repeatable)",
+    )
+    _add_common(run_parser)
+
+    sweep_parser = sub.add_parser("sweep", help="run one or more parameter sweeps")
+    sweep_parser.add_argument(
+        "sweeps",
+        nargs="*",
+        metavar="SWEEP",
+        help="named sweeps or experiment names (default: fig5 fig9 fig11)",
+    )
+    sweep_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the tiny smoke grid of every experiment instead",
+    )
+    sweep_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes (default: 1)"
+    )
+    _add_common(sweep_parser)
+
+    report_parser = sub.add_parser("report", help="format sweep results")
+    report_parser.add_argument(
+        "--input",
+        "-i",
+        default=None,
+        help="runner JSON output to format (default: read the cache)",
+    )
+    report_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="with no --input: cache entries of this experiment only",
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, help="result cache directory"
+    )
+    report_parser.add_argument(
+        "--format", choices=("table", "csv"), default="table", help="report format"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import BUILTIN_SWEEPS
+
+    print("experiments:")
+    for experiment in list_experiments():
+        grid_size = len(experiment.grid)
+        print(
+            f"  {experiment.name:24s} {grid_size:3d}-point grid  "
+            f"{experiment.description}"
+        )
+    print("sweeps:")
+    for name, sweep in sorted(BUILTIN_SWEEPS.items()):
+        size = len(sweep.grid) if sweep.grid is not None else 0
+        print(f"  {name:24s} {size:3d} runs of {sweep.experiment}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    overrides = _parse_set(args.assignments)
+    grid = ParameterGrid({key: [value] for key, value in overrides.items()})
+    sweep = Sweep(experiment.name, grid, label=f"run-{experiment.name}")
+    cache = _open_cache(args)
+    result = run_sweep(sweep, jobs=1, cache=cache, progress=_progress)
+    _emit(args, [result])
+    _summarize([result], cache)
+    return 0
+
+
+def _resolve_sweeps(names: Sequence[str], smoke: bool) -> List[Sweep]:
+    from .experiments import BUILTIN_SWEEPS, DEFAULT_SWEEP_NAMES, smoke_sweeps
+
+    if smoke:
+        if not names:
+            return smoke_sweeps()
+        # Honor the requested names: smoke only those experiments.
+        wanted = {
+            BUILTIN_SWEEPS[name].experiment if name in BUILTIN_SWEEPS else name
+            for name in names
+        }
+        selected = [s for s in smoke_sweeps() if s.experiment in wanted]
+        missing = wanted - {s.experiment for s in selected}
+        if missing:
+            raise KeyError(f"no smoke grid for: {', '.join(sorted(missing))}")
+        return selected
+    resolved = []
+    for name in names or DEFAULT_SWEEP_NAMES:
+        if name in BUILTIN_SWEEPS:
+            resolved.append(BUILTIN_SWEEPS[name])
+        else:
+            experiment = get_experiment(name)  # KeyError lists known names
+            resolved.append(Sweep(experiment.name, experiment.grid))
+    return resolved
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        sweeps = _resolve_sweeps(args.sweeps, args.smoke)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    cache = _open_cache(args)
+    results = run_sweeps(sweeps, jobs=args.jobs, cache=cache, progress=_progress)
+    _emit(args, results)
+    _summarize(results, cache)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis.aggregate import load_payload, sweep_table, sweeps_to_csv
+
+    if args.input:
+        text = (
+            sys.stdin.read()
+            if args.input == "-"
+            else Path(args.input).read_text(encoding="utf-8")
+        )
+        sweeps = load_payload(text)
+    else:
+        cache = ResultCache(Path(args.cache_dir))
+        entries = list(cache.iter_entries(args.experiment))
+        label = args.experiment or "cache"
+        sweeps = [{"label": label, "runs": entries}]
+    if args.format == "csv":
+        sys.stdout.write(sweeps_to_csv(sweeps))
+    else:
+        for sweep in sweeps:
+            print(sweep_table(sweep["runs"], title=str(sweep.get("label", ""))))
+            print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except (KeyError, TypeError, ValueError, OSError) as error:
+        # Bad experiment/parameter names, malformed inputs, unreadable
+        # paths: report cleanly instead of dumping a traceback.
+        if isinstance(error, OSError):
+            message = str(error)
+        else:
+            message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Sweep execution: cache lookup, process fan-out, ordered collection.
+
+Runs are enumerated in the grid's canonical order; cached configs are
+served from the :class:`~repro.runner.cache.ResultCache`, and the
+remainder is executed either inline (``jobs == 1``) or on a
+``concurrent.futures`` process pool.  Results are reassembled in grid
+order regardless of completion order, and every result — fresh or
+cached — is canonicalized through JSON, so a sweep's output is
+byte-identical for any job count.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .cache import ResultCache, canonicalize
+from .experiment import Experiment, Sweep, get_experiment
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One completed configuration of a sweep."""
+
+    experiment: str
+    params: Dict[str, object]
+    result: dict
+    cached: bool
+    elapsed_s: float
+
+    def record(self) -> Dict[str, object]:
+        """The deterministic, emittable form of this run."""
+        return {
+            "experiment": self.experiment,
+            "params": self.params,
+            "result": self.result,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All runs of one sweep, in grid order."""
+
+    label: str
+    experiment: str
+    runs: Tuple[RunResult, ...]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for run in self.runs if run.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return len(self.runs) - self.cache_hits
+
+    @property
+    def elapsed_s(self) -> float:
+        return sum(run.elapsed_s for run in self.runs if not run.cached)
+
+    def record(self) -> Dict[str, object]:
+        """The deterministic, emittable form of this sweep."""
+        return {
+            "label": self.label,
+            "experiment": self.experiment,
+            "runs": [run.record() for run in self.runs],
+        }
+
+
+def _execute_task(task: Tuple[Experiment, Dict[str, object]]) -> Tuple[dict, float]:
+    """Worker entry point: run one configuration, canonicalize the result.
+
+    The :class:`Experiment` itself travels in the task (its ``fn`` is a
+    module-level function, picklable by reference), so workers need no
+    registry state — custom-registered experiments work under any
+    multiprocessing start method, fork or spawn.
+    """
+    experiment, params = task
+    start = time.perf_counter()
+    result = experiment.run(params)
+    elapsed = time.perf_counter() - start
+    return canonicalize(result), elapsed
+
+
+def run_sweep(
+    sweep: Sweep,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Execute every configuration of ``sweep``.
+
+    ``jobs`` bounds worker processes for the uncached remainder; results
+    come back in grid order either way.  With a ``cache``, completed
+    configs are reused and fresh ones are stored.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    experiment = get_experiment(sweep.experiment)
+    grid = sweep.grid if sweep.grid is not None else experiment.grid
+    param_sets: List[Dict[str, object]] = [canonicalize(p) for p in grid]
+
+    runs: List[Optional[RunResult]] = [None] * len(param_sets)
+    pending: List[int] = []
+    for index, params in enumerate(param_sets):
+        entry = (
+            cache.get(experiment.name, params, experiment.version)
+            if cache is not None
+            else None
+        )
+        if entry is not None:
+            runs[index] = RunResult(
+                experiment=experiment.name,
+                params=params,
+                result=entry["result"],
+                cached=True,
+                elapsed_s=float(entry.get("elapsed_s") or 0.0),
+            )
+        else:
+            pending.append(index)
+
+    if progress is not None and param_sets:
+        progress(
+            f"{sweep.name}: {len(param_sets)} runs "
+            f"({len(param_sets) - len(pending)} cached, {len(pending)} to run)"
+        )
+
+    tasks = [(experiment, param_sets[index]) for index in pending]
+    if not tasks:
+        outcomes: Iterable[Tuple[dict, float]] = ()
+    elif jobs == 1 or len(tasks) == 1:
+        outcomes = map(_execute_task, tasks)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+        try:
+            outcomes = list(pool.map(_execute_task, tasks))
+        finally:
+            pool.shutdown()
+
+    for index, (result, elapsed) in zip(pending, outcomes):
+        params = param_sets[index]
+        if cache is not None:
+            cache.put(experiment.name, params, result, elapsed, experiment.version)
+        runs[index] = RunResult(
+            experiment=experiment.name,
+            params=params,
+            result=result,
+            cached=False,
+            elapsed_s=elapsed,
+        )
+        if progress is not None:
+            progress(f"{sweep.name}: finished run {index + 1}/{len(param_sets)}")
+
+    return SweepResult(
+        label=sweep.name,
+        experiment=experiment.name,
+        runs=tuple(run for run in runs if run is not None),
+    )
+
+
+def run_sweeps(
+    sweeps: Iterable[Sweep],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SweepResult]:
+    """Run several sweeps sequentially (each fans out internally)."""
+    return [run_sweep(s, jobs=jobs, cache=cache, progress=progress) for s in sweeps]

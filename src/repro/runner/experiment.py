@@ -1,0 +1,99 @@
+"""The declarative Experiment / Sweep API and the experiment registry.
+
+An :class:`Experiment` names a pure run function (JSON-able params in,
+JSON-able result out) plus its default parameter grid; a :class:`Sweep`
+binds an experiment to a concrete grid.  Worker processes resolve
+experiments by name through the module-level registry, so only the
+``(name, params)`` pair ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .grid import ParameterGrid
+
+RunFn = Callable[..., dict]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named, parameterized, cacheable unit of simulation work.
+
+    ``fn`` must be picklable by reference (a module-level function) and
+    must not depend on process-local state: the runner may execute it in
+    a worker process.  Bump ``version`` when ``fn``'s semantics change
+    so stale cache entries stop matching.
+    """
+
+    name: str
+    fn: RunFn
+    grid: ParameterGrid
+    description: str = ""
+    version: int = 1
+    smoke_grid: Optional[ParameterGrid] = None
+
+    def run(self, params: Mapping[str, object]) -> dict:
+        """Execute one configuration."""
+        return self.fn(**dict(params))
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """An experiment bound to the parameter grid to fan out over."""
+
+    experiment: str
+    grid: Optional[ParameterGrid] = None
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.label or self.experiment
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+_builtins_loaded = False
+
+
+def register(experiment: Experiment, replace: bool = False) -> Experiment:
+    """Add an experiment to the registry (used at module import time)."""
+    if not replace and experiment.name in _REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def ensure_builtin_experiments() -> None:
+    """Idempotently load the built-in experiment definitions.
+
+    Called lazily (not at package import) so `repro.runner` can be
+    imported without pulling in every simulation subsystem, and called
+    again inside worker processes before resolving task names.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        from . import experiments  # noqa: F401  (registers on import)
+
+        _builtins_loaded = True
+
+
+def get_experiment(name: str) -> Experiment:
+    """Resolve a registered experiment by name."""
+    ensure_builtin_experiments()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown experiment {name!r}; registered: {known}") from None
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by name."""
+    ensure_builtin_experiments()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_experiment(name: str, params: Optional[Mapping[str, object]] = None) -> dict:
+    """Run one configuration of a registered experiment in-process."""
+    return get_experiment(name).run(params or {})

@@ -1,0 +1,209 @@
+"""Built-in experiments: the paper's figure grids as declarative sweeps.
+
+Each experiment wraps one pure run surface (``repro.netsim.surface``,
+``repro.fence.surface``, ``repro.fullsim.surface``) and declares the
+parameter grid the corresponding benchmark sweeps — the single source
+of truth shared by ``benchmarks/``, ``examples/``, and the
+``python -m repro.runner`` CLI.  Smoke grids are tiny variants used by
+CI and tests to exercise the parallel path in seconds.
+"""
+
+from __future__ import annotations
+
+from .experiment import Experiment, Sweep, register
+from .grid import ParameterGrid
+
+# Run surfaces are imported lazily inside the wrappers so importing the
+# registry stays cheap and workers only load what they execute.
+
+
+def _fig5_latency(**params: object) -> dict:
+    from ..netsim.surface import measure_latency_curve
+
+    return measure_latency_curve(**params)
+
+
+def _min_one_hop(**params: object) -> dict:
+    from ..netsim.surface import measure_min_one_hop
+
+    return measure_min_one_hop(**params)
+
+
+def _fig11_fence(**params: object) -> dict:
+    from ..fence.surface import measure_fence_curve
+
+    return measure_fence_curve(**params)
+
+
+def _fig9_water(**params: object) -> dict:
+    from ..fullsim.surface import evaluate_water_system
+
+    return evaluate_water_system(**params)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: one-way latency vs hop count on the 128-node machine.
+# ---------------------------------------------------------------------------
+
+FIG5_GRID = ParameterGrid(
+    {
+        "dims": [(4, 4, 8)],
+        "machine_seed": 42,
+        "harness_seed": 17,
+        "max_hops": 8,
+        "samples_per_hop": 15,
+    }
+)
+
+FIG5_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "machine_seed": 42,
+        "harness_seed": 17,
+        "max_hops": 2,
+        "samples_per_hop": 2,
+    }
+)
+
+register(
+    Experiment(
+        name="fig5_latency",
+        fn=_fig5_latency,
+        grid=FIG5_GRID,
+        smoke_grid=FIG5_SMOKE_GRID,
+        description="One-way end-to-end latency vs inter-node hops (Figure 5)",
+    )
+)
+
+register(
+    Experiment(
+        name="min_one_hop",
+        fn=_min_one_hop,
+        grid=ParameterGrid({"machine_seed": 42, "harness_seed": 18, "samples": 30}),
+        smoke_grid=ParameterGrid(
+            {
+                "dims": [(2, 2, 2)],
+                "chip_cols": 6,
+                "chip_rows": 6,
+                "machine_seed": 42,
+                "harness_seed": 18,
+                "samples": 4,
+            }
+        ),
+        description="Best-placement minimum single-hop latency (~55 ns)",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Figure 11: fence barrier latency vs synchronization domain.
+# ---------------------------------------------------------------------------
+
+FIG11_GRID = ParameterGrid({"dims": [(4, 4, 8)], "seed": 42, "max_hops": 8})
+
+FIG11_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "seed": 42,
+        "max_hops": 2,
+    }
+)
+
+register(
+    Experiment(
+        name="fig11_fence",
+        fn=_fig11_fence,
+        grid=FIG11_GRID,
+        smoke_grid=FIG11_SMOKE_GRID,
+        description="Network-fence barrier latency vs hop count (Figure 11)",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Figures 9a/9b: water-box traffic reduction and application speedup.
+# ---------------------------------------------------------------------------
+
+FIG9_ATOM_COUNTS = [2048, 4096, 8192, 16384]
+
+FIG9_GRID = ParameterGrid({"n_atoms": FIG9_ATOM_COUNTS})
+
+FIG9_SMOKE_GRID = ParameterGrid({"n_atoms": [256, 512], "steps": 5})
+
+register(
+    Experiment(
+        name="fig9_water",
+        fn=_fig9_water,
+        grid=FIG9_GRID,
+        smoke_grid=FIG9_SMOKE_GRID,
+        description="Water-box traffic reduction and speedup (Figures 9a/9b)",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 512-node scaling study: the 8x8x8 torus with reduced-size chips.
+# ---------------------------------------------------------------------------
+
+SCALING_512_FENCE_GRID = ParameterGrid(
+    {
+        "dims": [(8, 8, 8)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "seed": 9,
+        "hops": [[1, 2, 4, 8, 12]],
+        "request_vcs": 1,
+        "slices": 1,
+    }
+)
+
+SCALING_512_LATENCY_GRID = ParameterGrid(
+    {
+        "dims": [(8, 8, 8)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "machine_seed": 9,
+        "harness_seed": 10,
+        "max_hops": 12,
+        "samples_per_hop": 4,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Named sweeps: what the benchmarks and the CLI actually run.
+# ---------------------------------------------------------------------------
+
+FIG5_SWEEP = Sweep("fig5_latency", FIG5_GRID, label="fig5")
+FIG9_SWEEP = Sweep("fig9_water", FIG9_GRID, label="fig9")
+FIG11_SWEEP = Sweep("fig11_fence", FIG11_GRID, label="fig11")
+SCALING_512_FENCE_SWEEP = Sweep(
+    "fig11_fence", SCALING_512_FENCE_GRID, label="scaling-512-fence"
+)
+SCALING_512_LATENCY_SWEEP = Sweep(
+    "fig5_latency", SCALING_512_LATENCY_GRID, label="scaling-512-latency"
+)
+
+BUILTIN_SWEEPS = {
+    sweep.name: sweep
+    for sweep in (
+        FIG5_SWEEP,
+        FIG9_SWEEP,
+        FIG11_SWEEP,
+        SCALING_512_FENCE_SWEEP,
+        SCALING_512_LATENCY_SWEEP,
+    )
+}
+
+DEFAULT_SWEEP_NAMES = ("fig5", "fig9", "fig11")
+
+
+def smoke_sweeps() -> list:
+    """Tiny sweeps over every experiment that declares a smoke grid."""
+    from .experiment import list_experiments
+
+    return [
+        Sweep(exp.name, exp.smoke_grid, label=f"smoke-{exp.name}")
+        for exp in list_experiments()
+        if exp.smoke_grid is not None
+    ]

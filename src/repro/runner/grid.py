@@ -1,0 +1,72 @@
+"""Deterministic parameter grids for experiment sweeps.
+
+A grid maps parameter names to axes of values; expansion is the cross
+product of the axes in a canonical order (keys sorted, last key varying
+fastest), so a sweep enumerates the same runs in the same order on every
+machine — the foundation for content-addressed caching and for the
+``--jobs 1`` / ``--jobs N`` equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Sequence, Union
+
+GridSpec = Union[Mapping[str, object], Sequence[Mapping[str, object]]]
+
+
+class ParameterGrid:
+    """A cross-product grid of experiment parameters.
+
+    A *list* value is an axis to sweep over; any other value (including
+    a tuple, e.g. torus ``dims``) is a single fixed value.  A sequence
+    of mappings is the union of the individual grids, expanded in order.
+
+    Example:
+        >>> grid = ParameterGrid({"n_atoms": [2048, 4096], "steps": 7})
+        >>> list(grid)
+        [{'n_atoms': 2048, 'steps': 7}, {'n_atoms': 4096, 'steps': 7}]
+    """
+
+    def __init__(self, spec: GridSpec) -> None:
+        if isinstance(spec, Mapping):
+            subgrids = [spec]
+        else:
+            subgrids = list(spec)
+        self._subgrids: List[Dict[str, List[object]]] = []
+        for subgrid in subgrids:
+            if not isinstance(subgrid, Mapping):
+                raise TypeError(f"grid spec must be a mapping, got {subgrid!r}")
+            axes: Dict[str, List[object]] = {}
+            for key in sorted(subgrid):
+                value = subgrid[key]
+                axis = list(value) if isinstance(value, list) else [value]
+                if not axis:
+                    raise ValueError(f"axis {key!r} has no values")
+                axes[key] = axis
+            self._subgrids.append(axes)
+
+    def __len__(self) -> int:
+        total = 0
+        for axes in self._subgrids:
+            count = 1
+            for values in axes.values():
+                count *= len(values)
+            total += count
+        return total
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        for axes in self._subgrids:
+            keys = list(axes)
+            for combo in itertools.product(*(axes[key] for key in keys)):
+                yield dict(zip(keys, combo))
+
+    def axes(self) -> Dict[str, List[object]]:
+        """The merged axes (for display); union grids merge last-wins."""
+        merged: Dict[str, List[object]] = {}
+        for axes in self._subgrids:
+            merged.update(axes)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"ParameterGrid({self._subgrids!r})"

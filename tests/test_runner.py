@@ -1,0 +1,308 @@
+"""Tests for the parallel experiment runner (repro.runner).
+
+Covers grid expansion, seed derivation, cache hit/miss behavior,
+deterministic results under ``--jobs 1`` vs ``--jobs 4``, and CLI
+argument parsing / end-to-end invocation.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import derive_seed
+from repro.runner import (
+    Experiment,
+    ParameterGrid,
+    ResultCache,
+    Sweep,
+    canonical_json,
+    config_digest,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    run_sweep,
+)
+from repro.runner.cli import build_parser, main
+
+# A tiny fig5 grid: two real flit-level runs, each well under a second.
+TINY_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "machine_seed": 42,
+        "harness_seed": 17,
+        "max_hops": 1,
+        "samples_per_hop": [1, 2],
+    }
+)
+TINY_SWEEP = Sweep("fig5_latency", TINY_GRID, label="tiny")
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion.
+# ---------------------------------------------------------------------------
+
+
+class TestParameterGrid:
+    def test_cross_product_order(self):
+        grid = ParameterGrid({"b": [1, 2], "a": ["x", "y"]})
+        assert list(grid) == [
+            {"a": "x", "b": 1},
+            {"a": "x", "b": 2},
+            {"a": "y", "b": 1},
+            {"a": "y", "b": 2},
+        ]
+        assert len(grid) == 4
+
+    def test_scalars_and_tuples_are_single_values(self):
+        grid = ParameterGrid({"dims": (4, 4, 8), "seed": 3})
+        assert list(grid) == [{"dims": (4, 4, 8), "seed": 3}]
+
+    def test_list_of_tuples_is_an_axis(self):
+        grid = ParameterGrid({"dims": [(2, 2, 2), (4, 4, 8)]})
+        assert len(grid) == 2
+
+    def test_union_of_grids(self):
+        grid = ParameterGrid([{"a": [1, 2]}, {"b": 3}])
+        assert list(grid) == [{"a": 1}, {"a": 2}, {"b": 3}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+    def test_expansion_is_repeatable(self):
+        grid = ParameterGrid({"a": [2, 1], "b": [True, False]})
+        assert list(grid) == list(grid)
+
+
+# ---------------------------------------------------------------------------
+# Seed derivation (engine plumbing for parallel runs).
+# ---------------------------------------------------------------------------
+
+
+class TestSeeding:
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(42, "machine") == derive_seed(42, "machine")
+        assert derive_seed(42, "machine") != derive_seed(42, "harness")
+        assert derive_seed(42, "machine") != derive_seed(43, "machine")
+
+    def test_derive_seed_handles_structured_paths(self):
+        # Coordinates and mixed labels derive stable, bounded seeds.
+        seed = derive_seed(9, (0, 1, 2))
+        assert seed == derive_seed(9, (0, 1, 2))
+        assert 0 <= seed < 2**31
+
+    def test_machines_with_equal_seeds_are_identical(self):
+        from repro.netsim.surface import measure_latency_curve
+
+        kwargs = dict(dims=(2, 2, 2), chip_cols=6, chip_rows=6,
+                      max_hops=1, samples_per_hop=2)
+        assert measure_latency_curve(**kwargs) == measure_latency_curve(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Content addressing and the result cache.
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_digest_ignores_key_order_and_tuple_vs_list(self):
+        a = config_digest("e", {"x": 1, "dims": (2, 2, 2)})
+        b = config_digest("e", {"dims": [2, 2, 2], "x": 1})
+        assert a == b
+        assert config_digest("e", {"x": 2}) != a
+        assert config_digest("other", {"x": 1}) != config_digest("e", {"x": 1})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": (1,), "a": 2}) == '{"a":2,"b":[1]}'
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        params = {"n": 1}
+        assert cache.get("exp", params) is None
+        cache.put("exp", params, {"value": 3.5}, elapsed_s=0.1)
+        entry = cache.get("exp", params)
+        assert entry["result"] == {"value": 3.5}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_version_busts_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", {"n": 1}, {"v": 1}, version=1)
+        assert cache.get("exp", {"n": 1}, version=2) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("exp", {"n": 1}, {"v": 1})
+        path.write_text("not json", encoding="utf-8")
+        assert cache.get("exp", {"n": 1}) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("exp", {"n": 1}, {"v": 1})
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# The registry and sweep execution.
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_experiments_registered(self):
+        names = {exp.name for exp in list_experiments()}
+        assert {"fig5_latency", "fig9_water", "fig11_fence"} <= names
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(KeyError, match="fig5_latency"):
+            get_experiment("nope")
+
+    def test_run_experiment_inline(self):
+        result = run_experiment(
+            "fig11_fence",
+            {"dims": (2, 2, 2), "chip_cols": 6, "chip_rows": 6, "max_hops": 0},
+        )
+        assert result["num_nodes"] == 8
+        assert set(result["latencies"]) == {"0"}
+
+
+class TestRunSweep:
+    def test_cache_hit_miss_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_sweep(TINY_SWEEP, jobs=1, cache=cache)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        second = run_sweep(TINY_SWEEP, jobs=1, cache=cache)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        assert [r.result for r in second.runs] == [r.result for r in first.runs]
+
+    def test_jobs_1_and_jobs_4_are_byte_identical(self, tmp_path):
+        serial = run_sweep(TINY_SWEEP, jobs=1, cache=ResultCache(tmp_path / "s"))
+        parallel = run_sweep(TINY_SWEEP, jobs=4, cache=ResultCache(tmp_path / "p"))
+        assert canonical_json(serial.record()) == canonical_json(parallel.record())
+
+    def test_uncached_execution(self):
+        sweep = Sweep(
+            "fig11_fence",
+            ParameterGrid(
+                {"dims": [(2, 2, 2)], "chip_cols": 6, "chip_rows": 6, "max_hops": 0}
+            ),
+        )
+        result = run_sweep(sweep, jobs=1, cache=None)
+        assert result.cache_misses == 1
+        assert result.runs[0].elapsed_s > 0
+
+    def test_grid_defaults_to_experiment_grid(self):
+        experiment = get_experiment("fig5_latency")
+        result_grid = list(Sweep("fig5_latency").grid or experiment.grid)
+        assert result_grid == list(experiment.grid)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(TINY_SWEEP, jobs=0)
+
+    def test_task_is_self_contained_for_workers(self):
+        # Tasks carry the Experiment itself, so a worker needs no
+        # registry state (safe under fork and spawn alike).
+        import pickle
+
+        from repro.runner.execute import _execute_task
+
+        experiment = get_experiment("fig11_fence")
+        params = {"dims": [2, 2, 2], "chip_cols": 6, "chip_rows": 6,
+                  "max_hops": 0}
+        task = pickle.loads(pickle.dumps((experiment, params)))
+        result, elapsed = _execute_task(task)
+        assert result["num_nodes"] == 8
+        assert elapsed > 0
+
+    def test_custom_registered_experiment(self, tmp_path):
+        # Registration is additive.  With jobs > 1 the experiment is
+        # pickled into the task, so fn must then be module-level.
+        from repro.runner import register
+
+        experiment = Experiment(
+            name="test_echo",
+            fn=lambda **params: {"echo": params},
+            grid=ParameterGrid({"x": [1, 2]}),
+        )
+        try:
+            register(experiment)
+            result = run_sweep(Sweep("test_echo"), jobs=1)
+            assert [r.result for r in result.runs] == [
+                {"echo": {"x": 1}},
+                {"echo": {"x": 2}},
+            ]
+        finally:
+            from repro.runner.experiment import _REGISTRY
+
+            _REGISTRY.pop("test_echo", None)
+
+
+# ---------------------------------------------------------------------------
+# CLI.
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.jobs == 1
+        assert args.sweeps == []
+        assert not args.smoke
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig5", "--smoke", "--jobs", "2", "--cache-dir", "/tmp/x",
+             "--format", "csv", "--output", "out.csv"]
+        )
+        assert args.sweeps == ["fig5"]
+        assert args.smoke and args.jobs == 2
+        assert args.cache_dir == "/tmp/x"
+        assert (args.format, args.output) == ("csv", "out.csv")
+
+    def test_run_set_parsing(self):
+        args = build_parser().parse_args(
+            ["run", "fig11_fence", "--set", "max_hops=2", "--set", "dims=[2,2,2]"]
+        )
+        assert args.experiment == "fig11_fence"
+        assert args.assignments == ["max_hops=2", "dims=[2,2,2]"]
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_end_to_end_run_and_report(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        output = tmp_path / "out.json"
+        code = main(
+            ["run", "fig11_fence",
+             "--set", "dims=[2,2,2]", "--set", "chip_cols=6",
+             "--set", "chip_rows=6", "--set", "max_hops=1",
+             "--cache-dir", str(cache_dir), "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        (sweep,) = payload["sweeps"]
+        assert sweep["experiment"] == "fig11_fence"
+        assert set(sweep["runs"][0]["result"]["latencies"]) == {"0", "1"}
+        capsys.readouterr()
+
+        assert main(["report", "--input", str(output)]) == 0
+        table = capsys.readouterr().out
+        assert "latencies" in table and "run-fig11_fence" in table
+
+    def test_csv_output(self, tmp_path, capsys):
+        code = main(
+            ["run", "fig11_fence",
+             "--set", "dims=[2,2,2]", "--set", "chip_cols=6",
+             "--set", "chip_rows=6", "--set", "max_hops=0",
+             "--no-cache", "--format", "csv"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert "latencies.0" in header and "num_nodes" in header
