@@ -1,0 +1,85 @@
+"""Load-sweep saturation: the classic latency-vs-offered-load shape.
+
+Open-loop synthetic traffic on the 8-node torus, swept through the
+registered ``load-sweep-*`` grids (``repro.runner.experiments``) via the
+parallel runner and the session result cache.  The assertions pin the
+textbook interconnect behavior: mean latency is flat at low offered
+load, diverges as the network approaches saturation, and the
+nearest-neighbor exchange — one torus hop per packet — saturates at a
+measurably higher offered load than uniform random traffic, which
+averages ~1.7 hops on this torus and so consumes more channel capacity
+per delivered flit.
+"""
+
+import pytest
+
+from repro.analysis import analyze_load_sweep, load_sweep_table
+from repro.runner import run_sweep
+from repro.runner.experiments import LOAD_SWEEPS
+
+
+def _sweep_analysis(pattern, runner_cache):
+    sweep = LOAD_SWEEPS[f"load-sweep-{pattern}"]
+    result = run_sweep(sweep, jobs=2, cache=runner_cache)
+    runs = [run.record() for run in result.runs]
+    print(f"\n{load_sweep_table(runs, title=sweep.name)}")
+    return analyze_load_sweep(runs)
+
+
+@pytest.fixture(scope="module")
+def uniform_analysis(runner_cache):
+    return _sweep_analysis("uniform", runner_cache)
+
+
+@pytest.fixture(scope="module")
+def neighbor_analysis(runner_cache):
+    return _sweep_analysis("neighbor", runner_cache)
+
+
+def test_latency_flat_at_low_load(uniform_analysis):
+    """Below ~half of saturation the curve sits on the zero-load floor."""
+    zero = uniform_analysis.zero_load_latency_ns
+    low = [lat for load, lat, __ in uniform_analysis.points if load <= 0.4]
+    assert len(low) >= 3
+    assert all(lat < 1.10 * zero for lat in low)
+
+
+def test_latency_diverges_near_saturation(uniform_analysis):
+    """Uniform random saturates inside the sweep and latency blows up."""
+    assert uniform_analysis.saturated
+    assert 0.5 < uniform_analysis.saturation_load <= 1.0
+    top = max(lat for __, lat, __unused in uniform_analysis.points)
+    assert top > 2.5 * uniform_analysis.zero_load_latency_ns
+
+
+def test_accepted_tracks_offered_below_saturation(uniform_analysis):
+    """Open-loop accounting: accepted == offered until the knee."""
+    knee = uniform_analysis.saturation_load * 0.8
+    below = [(load, accepted)
+             for load, __, accepted in uniform_analysis.points
+             if load <= knee]
+    assert below
+    for load, accepted in below:
+        assert accepted == pytest.approx(load, rel=0.05)
+
+
+def test_neighbor_saturates_at_higher_load(uniform_analysis,
+                                           neighbor_analysis, benchmark):
+    """Nearest-neighbor traffic outlasts uniform random on the torus."""
+    analysis = benchmark.pedantic(
+        lambda: neighbor_analysis, rounds=1, iterations=1)
+    if analysis.saturated:
+        assert analysis.saturation_load > 1.1 * uniform_analysis.saturation_load
+    # Where uniform has already left the floor, neighbor is still flat.
+    neighbor_at = {load: lat for load, lat, __ in analysis.points}
+    uniform_at = {load: lat for load, lat, __ in uniform_analysis.points}
+    assert neighbor_at[0.9] < 1.15 * analysis.zero_load_latency_ns
+    assert uniform_at[0.9] > 1.5 * uniform_analysis.zero_load_latency_ns
+    assert neighbor_at[0.9] < uniform_at[0.9]
+
+
+def test_neighbor_accepts_full_line_rate(neighbor_analysis):
+    """At offered load 1.0 the neighbor exchange still delivers it all."""
+    load, __, accepted = neighbor_analysis.points[-1]
+    assert load == pytest.approx(1.0)
+    assert accepted == pytest.approx(1.0, rel=0.03)

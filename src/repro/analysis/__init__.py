@@ -9,8 +9,12 @@ from .activity import (
 )
 from .aggregate import (
     flatten_mapping,
+    grouped_percentile_table,
+    grouped_percentiles,
     load_payload,
+    percentile,
     rows_to_csv,
+    summarize_values,
     sweep_rows,
     sweep_table,
     sweeps_to_csv,
@@ -18,6 +22,12 @@ from .aggregate import (
 from .area import PAPER_TABLE2, PAPER_TABLE3, AreaModel, AreaRow
 from .fits import LinearFit, fit_latency_vs_hops
 from .report import Comparison, comparison_table, format_table, within_band
+from .saturation import (
+    SaturationAnalysis,
+    analyze_load_sweep,
+    detect_saturation,
+    load_sweep_table,
+)
 
 __all__ = [
     "COMPONENTS",
@@ -26,11 +36,19 @@ __all__ = [
     "render_ascii",
     "trace_from_breakdowns",
     "flatten_mapping",
+    "grouped_percentile_table",
+    "grouped_percentiles",
     "load_payload",
+    "percentile",
     "rows_to_csv",
+    "summarize_values",
     "sweep_rows",
     "sweep_table",
     "sweeps_to_csv",
+    "SaturationAnalysis",
+    "analyze_load_sweep",
+    "detect_saturation",
+    "load_sweep_table",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "AreaModel",

@@ -110,6 +110,116 @@ def sweeps_to_csv(sweeps: Iterable[Mapping[str, object]]) -> str:
     return rows_to_csv(headers, rows)
 
 
+#: The percentile set reported by grouped summaries and the traffic
+#: surfaces (p50/p95/p99 plus the extremes via count/mean/max).
+SUMMARY_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def _percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Example:
+        >>> percentile([1.0, 2.0, 3.0, 4.0], 50.0)
+        2.5
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    return _percentile_of_sorted(sorted(float(v) for v in values), q)
+
+
+def summarize_values(
+    values: Sequence[float],
+    percentiles: Sequence[float] = SUMMARY_PERCENTILES,
+) -> Dict[str, object]:
+    """Count/mean/max plus the standard percentile set for one sample set.
+
+    This is the single aggregation path shared by the figure-5 latency
+    tables and the load-sweep reports: both feed their raw latency
+    samples through here so every table exposes the same columns.
+    """
+    if not values:
+        raise ValueError("summarize_values needs at least one sample")
+    ordered = sorted(float(v) for v in values)
+    summary: Dict[str, object] = {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+    for q in percentiles:
+        label = f"p{q:g}".replace(".", "_")
+        summary[label] = _percentile_of_sorted(ordered, q)
+    return summary
+
+
+def grouped_percentiles(
+    records: Iterable[Mapping[str, object]],
+    by: str,
+    value: str,
+    percentiles: Sequence[float] = SUMMARY_PERCENTILES,
+) -> Dict[object, Dict[str, object]]:
+    """Per-group percentile summaries over flattened run records.
+
+    ``records`` are runner run records (``{"params": ..., "result": ...}``);
+    each is flattened with :func:`flatten_mapping`, grouped by the ``by``
+    column (a parameter key), and the ``value`` column (a result key) is
+    summarized per group with :func:`summarize_values`.  Records missing
+    either column are skipped.
+    """
+    groups: Dict[object, List[float]] = {}
+    for record in records:
+        flat = flatten_mapping(record.get("params", {}) or {})
+        flat.update(flatten_mapping(record.get("result", {}) or {}))
+        if by not in flat or value not in flat:
+            continue
+        groups.setdefault(flat[by], []).append(float(flat[value]))  # type: ignore[arg-type]
+
+    def key_order(item: Tuple[object, List[float]]) -> Tuple[int, object]:
+        key = item[0]
+        # Numeric keys sort numerically (hops 0..12, not "0", "1", "10");
+        # everything else falls back to string order.
+        if isinstance(key, (int, float)) and not isinstance(key, bool):
+            return (0, key)
+        return (1, str(key))
+
+    return {
+        key: summarize_values(samples, percentiles)
+        for key, samples in sorted(groups.items(), key=key_order)
+    }
+
+
+def grouped_percentile_table(
+    records: Iterable[Mapping[str, object]],
+    by: str,
+    value: str,
+    percentiles: Sequence[float] = SUMMARY_PERCENTILES,
+    title: str = "",
+) -> str:
+    """A plain-text table of :func:`grouped_percentiles` output."""
+    groups = grouped_percentiles(records, by, value, percentiles)
+    if not groups:
+        return f"{title}\n(no samples)" if title else "(no samples)"
+    first = next(iter(groups.values()))
+    headers = [by] + list(first)
+    rows = [
+        [_compact(key)] + [_compact(v) for v in summary.values()]
+        for key, summary in groups.items()
+    ]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
 def load_payload(text: str) -> List[Dict[str, object]]:
     """Parse runner JSON output into a list of sweep records.
 

@@ -1,0 +1,162 @@
+"""Saturation-point detection for open-loop load sweeps.
+
+A latency-vs-offered-load curve has the classic interconnect shape: flat
+near the zero-load latency, then diverging as offered load approaches
+the saturation throughput.  Following standard practice we define the
+saturation point as the offered load at which mean latency first exceeds
+a multiple (default 3x) of the zero-load latency, interpolating linearly
+between the bracketing load points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .report import format_table
+
+__all__ = [
+    "DEFAULT_LATENCY_MULTIPLE",
+    "SaturationAnalysis",
+    "detect_saturation",
+    "analyze_load_sweep",
+    "load_sweep_table",
+]
+
+DEFAULT_LATENCY_MULTIPLE = 3.0
+
+
+@dataclass(frozen=True)
+class SaturationAnalysis:
+    """The outcome of saturation detection over one load sweep."""
+
+    pattern: str
+    zero_load_latency_ns: float
+    latency_multiple: float
+    saturation_load: Optional[float]
+    #: (offered load, mean request latency ns, accepted load) per point.
+    points: Tuple[Tuple[float, float, float], ...]
+
+    @property
+    def saturated(self) -> bool:
+        return self.saturation_load is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pattern": self.pattern,
+            "zero_load_latency_ns": self.zero_load_latency_ns,
+            "latency_multiple": self.latency_multiple,
+            "saturation_load": self.saturation_load,
+            "points": [list(point) for point in self.points],
+        }
+
+
+def detect_saturation(
+    loads: Sequence[float],
+    latencies: Sequence[float],
+    latency_multiple: float = DEFAULT_LATENCY_MULTIPLE,
+) -> Optional[float]:
+    """Offered load where latency first crosses the divergence threshold.
+
+    ``loads`` must be sorted ascending; the zero-load latency is taken
+    from the lowest load point.  Returns ``None`` when the curve stays
+    below ``latency_multiple x`` zero-load latency everywhere (the sweep
+    never saturated).
+    """
+    if len(loads) != len(latencies):
+        raise ValueError("loads and latencies must have equal length")
+    if not loads:
+        raise ValueError("saturation detection needs at least one point")
+    if list(loads) != sorted(loads):
+        raise ValueError("loads must be sorted ascending")
+    if latency_multiple <= 1.0:
+        raise ValueError("latency multiple must exceed 1")
+    threshold = latencies[0] * latency_multiple
+    for i, latency in enumerate(latencies):
+        if latency <= threshold:
+            continue
+        if i == 0:
+            return loads[0]
+        prev_load, prev_lat = loads[i - 1], latencies[i - 1]
+        frac = (threshold - prev_lat) / (latency - prev_lat)
+        return prev_load + frac * (loads[i] - prev_load)
+    return None
+
+
+def _point_from_run(run: Mapping[str, object]) -> Optional[Tuple[float, float, float, str]]:
+    result = run.get("result")
+    if not isinstance(result, Mapping):
+        return None
+    classes = result.get("classes")
+    if not isinstance(classes, Mapping):
+        return None
+    request = classes.get("request")
+    if not isinstance(request, Mapping):
+        return None
+    latency = request.get("latency_ns")
+    if not isinstance(latency, Mapping):
+        return None
+    return (
+        float(result["offered_load"]),
+        float(latency["mean"]),
+        float(result.get("accepted_load", 0.0)),
+        str(result.get("pattern", "")),
+    )
+
+
+def analyze_load_sweep(
+    runs: Iterable[Mapping[str, object]],
+    latency_multiple: float = DEFAULT_LATENCY_MULTIPLE,
+) -> SaturationAnalysis:
+    """Saturation analysis over the run records of one load sweep.
+
+    ``runs`` are runner records of ``load_sweep_point`` results (fresh or
+    loaded from a results payload); they are sorted by offered load and
+    reduced to the mean request latency per point.
+    """
+    points: List[Tuple[float, float, float]] = []
+    patterns = set()
+    for run in runs:
+        extracted = _point_from_run(run)
+        if extracted is None:
+            continue
+        load, latency, accepted, pattern = extracted
+        points.append((load, latency, accepted))
+        patterns.add(pattern)
+    if not points:
+        raise ValueError("no completed load-sweep points in these runs")
+    if len(patterns) > 1:
+        raise ValueError(
+            f"load sweep mixes traffic patterns: {sorted(patterns)}")
+    points.sort(key=lambda p: p[0])
+    loads = [p[0] for p in points]
+    latencies = [p[1] for p in points]
+    return SaturationAnalysis(
+        pattern=patterns.pop(),
+        zero_load_latency_ns=latencies[0],
+        latency_multiple=latency_multiple,
+        saturation_load=detect_saturation(loads, latencies, latency_multiple),
+        points=tuple(points))
+
+
+def load_sweep_table(
+    runs: Iterable[Mapping[str, object]],
+    latency_multiple: float = DEFAULT_LATENCY_MULTIPLE,
+    title: str = "",
+) -> str:
+    """A latency-vs-offered-load table plus the detected saturation point."""
+    analysis = analyze_load_sweep(runs, latency_multiple)
+    rows = [[f"{load:.3f}", f"{latency:.1f}", f"{accepted:.3f}"]
+            for load, latency, accepted in analysis.points]
+    table = format_table(
+        ("offered load", "mean latency ns", "accepted load"), rows)
+    if analysis.saturated:
+        verdict = (f"saturation at offered load ~{analysis.saturation_load:.3f} "
+                   f"({analysis.latency_multiple:g}x zero-load latency "
+                   f"{analysis.zero_load_latency_ns:.1f} ns)")
+    else:
+        verdict = (f"no saturation within sweep "
+                   f"(latency stayed under {analysis.latency_multiple:g}x "
+                   f"zero-load {analysis.zero_load_latency_ns:.1f} ns)")
+    header = f"{title}\n" if title else ""
+    return f"{header}{table}\n{analysis.pattern}: {verdict}"

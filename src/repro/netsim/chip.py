@@ -70,6 +70,17 @@ class ChipNetwork(CoreNetworkHost):
             for side in SIDES}
         self._gcs: Dict[Tuple[int, int, int], GcEndpoint] = {}
         self.fence_handler: Optional[Callable[[Packet], None]] = None
+        # Per-traffic-class accounting and the delivery hook used by the
+        # open-loop traffic harness (repro.traffic): counts are bumped at
+        # injection (send) and final SRAM commit; the hook fires on every
+        # commit.  ``record_delivered`` can be cleared for long open-loop
+        # runs so per-GC delivered lists do not grow without bound.
+        self.injected_counts: Dict[TrafficClass, int] = {
+            tc: 0 for tc in TrafficClass}
+        self.delivered_counts: Dict[TrafficClass, int] = {
+            tc: 0 for tc in TrafficClass}
+        self.delivery_hook: Optional[Callable[[Packet], None]] = None
+        self.record_delivered = True
 
         # Row Adapters: one per (side, row), joining core column 0 or
         # cols-1 to the inner edge column.
@@ -138,6 +149,7 @@ class ChipNetwork(CoreNetworkHost):
     def send(self, packet: Packet) -> None:
         """A GC issues a packet: software overhead, then TRTR injection."""
         packet.injected_ns = self._sim.now
+        self.injected_counts[packet.traffic_class] += 1
         delay = self.params.cycles(self.params.gc_send_overhead_cycles)
         self._sim.after(delay, lambda: self.core.inject(packet,
                                                         packet.src_core))
@@ -150,7 +162,9 @@ class ChipNetwork(CoreNetworkHost):
         def commit() -> None:
             endpoint = self.gc(packet.dst_core)
             packet.delivered_ns = self._sim.now
-            endpoint.delivered.append(packet)
+            self.delivered_counts[packet.traffic_class] += 1
+            if self.record_delivered:
+                endpoint.delivered.append(packet)
             if packet.kind in (PacketKind.COUNTED_WRITE, PacketKind.POSITION,
                                PacketKind.FORCE):
                 words = list(packet.payload_words) or [0, 0, 0, 0]
@@ -163,6 +177,8 @@ class ChipNetwork(CoreNetworkHost):
                 # reply quad, releasing any blocking read on it.
                 words = list(packet.payload_words) or [0, 0, 0, 0]
                 endpoint.sram.counted_write(packet.quad_addr, words[:4])
+            if self.delivery_hook is not None:
+                self.delivery_hook(packet)
 
         self._sim.after(delay, commit)
 

@@ -34,7 +34,11 @@ class NetworkMachine:
         self.params = params
         self.chip_cols = chip_cols
         self.chip_rows = chip_rows
-        self.rng = random.Random(seed)
+        self.seed = seed
+        # All machine-level randomness (routing choices, GC sampling)
+        # draws from a derive_seed stream so results are stable across
+        # processes (the PR-1 determinism convention).
+        self.rng = random.Random(derive_seed(seed, "machine"))
         self.chips: Dict[Coord, ChipNetwork] = {}
         for coord in self.torus.nodes():
             self.chips[coord] = ChipNetwork(
@@ -81,6 +85,43 @@ class NetworkMachine:
     # ------------------------------------------------------------------
     # Packet injection.
     # ------------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Raw injection hook: hand ``packet`` to its source chip.
+
+        Open-loop traffic generators (:mod:`repro.traffic`) build packets
+        with explicit routing choices and inject them here; per-class
+        injected/delivered counters live on the chips and aggregate
+        through :meth:`injected_counts` / :meth:`delivered_counts`.
+        """
+        self.chip(packet.src_node).send(packet)
+
+    def set_delivery_hook(
+            self, hook: Optional[Callable[[Packet], None]]) -> None:
+        """Install (or clear) a machine-wide final-delivery callback."""
+        for chip in self.chips.values():
+            chip.delivery_hook = hook
+
+    def set_record_delivered(self, record: bool) -> None:
+        """Toggle per-GC delivered-packet retention (off for open loop)."""
+        for chip in self.chips.values():
+            chip.record_delivered = record
+
+    def injected_counts(self) -> Dict[TrafficClass, int]:
+        """Machine-wide injected packets per traffic class."""
+        totals = {tc: 0 for tc in TrafficClass}
+        for chip in self.chips.values():
+            for tc, count in chip.injected_counts.items():
+                totals[tc] += count
+        return totals
+
+    def delivered_counts(self) -> Dict[TrafficClass, int]:
+        """Machine-wide delivered packets per traffic class."""
+        totals = {tc: 0 for tc in TrafficClass}
+        for chip in self.chips.values():
+            for tc, count in chip.delivered_counts.items():
+                totals[tc] += count
+        return totals
 
     def make_request(self, kind: PacketKind, src_node: Coord,
                      src_core: CoreAddress, dst_node: Coord,

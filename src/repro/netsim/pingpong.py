@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..engine.seeding import derive_seed
 from ..engine.stats import Summary
 from ..topology.torus import Coord
 from .machine import NetworkMachine
@@ -37,7 +38,9 @@ class PingPongHarness:
 
     def __init__(self, machine: NetworkMachine, seed: int = 1) -> None:
         self.machine = machine
-        self.rng = random.Random(seed)
+        # Placement sampling follows the derive_seed convention so a
+        # harness rebuilt in any worker process samples the same pairs.
+        self.rng = random.Random(derive_seed(seed, "pingpong"))
 
     def measure_pair(self, src_node: Coord, src_core: CoreAddress,
                      dst_node: Coord, dst_core: CoreAddress,
@@ -103,15 +106,21 @@ class PingPongHarness:
             raise ValueError(f"no node pairs at {hops} hops in this torus")
         return pairs
 
-    def latency_vs_hops(self, max_hops: Optional[int] = None,
-                        samples_per_hop: int = 25) -> Dict[int, Summary]:
-        """Average one-way latency per hop count (the Figure 5 series)."""
+    def latency_samples_vs_hops(
+            self, max_hops: Optional[int] = None,
+            samples_per_hop: int = 25) -> Dict[int, List[float]]:
+        """Raw one-way latency samples per hop count.
+
+        The sample lists feed the shared percentile aggregation
+        (:func:`repro.analysis.aggregate.summarize_values`) used by the
+        figure-5 surface and the load-sweep reports.
+        """
         torus = self.machine.torus
         if max_hops is None:
             max_hops = torus.dims.diameter
-        results: Dict[int, Summary] = {}
+        results: Dict[int, List[float]] = {}
         for hops in range(max_hops + 1):
-            summary = Summary(f"one_way_ns@{hops}hops")
+            values: List[float] = []
             if hops == 0:
                 nodes = [self.rng.choice(list(torus.nodes()))
                          for __ in range(samples_per_hop)]
@@ -127,7 +136,19 @@ class PingPongHarness:
                         src_core.tile_v, src_core.which)
                 result = self.measure_pair(src_node, src_core,
                                            dst_node, dst_core)
-                summary.observe(result.one_way_ns)
+                values.append(result.one_way_ns)
+            results[hops] = values
+        return results
+
+    def latency_vs_hops(self, max_hops: Optional[int] = None,
+                        samples_per_hop: int = 25) -> Dict[int, Summary]:
+        """Average one-way latency per hop count (the Figure 5 series)."""
+        samples = self.latency_samples_vs_hops(max_hops, samples_per_hop)
+        results: Dict[int, Summary] = {}
+        for hops, values in samples.items():
+            summary = Summary(f"one_way_ns@{hops}hops")
+            for value in values:
+                summary.observe(value)
             results[hops] = summary
         return results
 

@@ -43,15 +43,22 @@ def measure_latency_curve(
 ) -> dict:
     """One-way latency vs hop count (the Figure 5 series) on a fresh machine.
 
-    Returns mean one-way latency per hop count plus the paper's linear
-    fit (which excludes the 0-hop point).  JSON-object keys are strings.
+    Returns mean one-way latency per hop count, per-hop percentile
+    summaries (the same p50/p95/p99 aggregation path the load-sweep
+    reports use), and the paper's linear fit (which excludes the 0-hop
+    point).  JSON-object keys are strings.
     """
+    from ..analysis.aggregate import summarize_values
     from ..analysis.fits import fit_latency_vs_hops
 
     machine = build_machine(dims, chip_cols, chip_rows, machine_seed)
     harness = PingPongHarness(machine, seed=harness_seed)
-    curve = harness.latency_vs_hops(max_hops=max_hops, samples_per_hop=samples_per_hop)
-    points: Dict[int, float] = {hops: float(s.mean) for hops, s in curve.items()}
+    samples = harness.latency_samples_vs_hops(
+        max_hops=max_hops, samples_per_hop=samples_per_hop
+    )
+    points: Dict[int, float] = {
+        hops: sum(values) / len(values) for hops, values in samples.items()
+    }
     fit = None
     if len([hops for hops in points if hops > 0]) >= 2:
         line = fit_latency_vs_hops(points)
@@ -64,6 +71,10 @@ def measure_latency_curve(
         "num_nodes": machine.torus.dims.num_nodes,
         "samples_per_hop": samples_per_hop,
         "points": {str(hops): mean for hops, mean in sorted(points.items())},
+        "percentiles": {
+            str(hops): summarize_values(values)
+            for hops, values in sorted(samples.items())
+        },
         "fit": fit,
     }
 

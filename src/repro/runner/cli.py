@@ -88,6 +88,26 @@ def _progress(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _load_sweep_report(results: Sequence[SweepResult]) -> None:
+    """Print latency-vs-load tables with saturation points (stderr).
+
+    Only applies to ``load_sweep`` sweeps; stdout stays byte-stable for
+    a given grid regardless.
+    """
+    from ..analysis.saturation import load_sweep_table
+
+    for result in results:
+        if result.experiment != "load_sweep":
+            continue
+        try:
+            table = load_sweep_table(
+                [run.record() for run in result.runs], title=result.label
+            )
+        except ValueError:
+            continue  # e.g. a custom grid mixing several patterns
+        print(table, file=sys.stderr)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -163,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--format", choices=("table", "csv"), default="table", help="report format"
     )
+    report_parser.add_argument(
+        "--percentiles",
+        metavar="BY:VALUE",
+        default=None,
+        help="instead of the flat table, group runs by parameter BY and "
+        "summarize result column VALUE with count/mean/max/p50/p95/p99 "
+        "(e.g. offered_load:classes.request.latency_ns.mean)",
+    )
     return parser
 
 
@@ -230,12 +258,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = _open_cache(args)
     results = run_sweeps(sweeps, jobs=args.jobs, cache=cache, progress=_progress)
     _emit(args, results)
+    _load_sweep_report(results)
     _summarize(results, cache)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from ..analysis.aggregate import load_payload, sweep_table, sweeps_to_csv
+    from ..analysis.aggregate import (
+        grouped_percentile_table,
+        load_payload,
+        sweep_table,
+        sweeps_to_csv,
+    )
 
     if args.input:
         text = (
@@ -249,7 +283,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
         entries = list(cache.iter_entries(args.experiment))
         label = args.experiment or "cache"
         sweeps = [{"label": label, "runs": entries}]
-    if args.format == "csv":
+    if args.percentiles is not None:
+        if args.format == "csv":
+            raise ValueError("--percentiles renders a table; drop --format csv")
+        by, sep, value = args.percentiles.partition(":")
+        if not sep or not by or not value:
+            raise ValueError(
+                f"--percentiles expects BY:VALUE, got {args.percentiles!r}"
+            )
+        for sweep in sweeps:
+            print(
+                grouped_percentile_table(
+                    sweep["runs"],
+                    by=by,
+                    value=value,
+                    title=str(sweep.get("label", "")),
+                )
+            )
+            print()
+    elif args.format == "csv":
         sys.stdout.write(sweeps_to_csv(sweeps))
     else:
         for sweep in sweeps:

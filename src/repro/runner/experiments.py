@@ -41,6 +41,12 @@ def _fig9_water(**params: object) -> dict:
     return evaluate_water_system(**params)
 
 
+def _load_point(**params: object) -> dict:
+    from ..traffic.surface import measure_load_point
+
+    return measure_load_point(**params)
+
+
 # ---------------------------------------------------------------------------
 # Figure 5: one-way latency vs hop count on the 128-node machine.
 # ---------------------------------------------------------------------------
@@ -74,6 +80,7 @@ register(
         grid=FIG5_GRID,
         smoke_grid=FIG5_SMOKE_GRID,
         description="One-way end-to-end latency vs inter-node hops (Figure 5)",
+        version=2,  # v2: results gained per-hop percentile summaries
     )
 )
 
@@ -143,6 +150,75 @@ register(
 )
 
 # ---------------------------------------------------------------------------
+# Synthetic-traffic load sweeps: latency vs offered load per pattern.
+# ---------------------------------------------------------------------------
+
+#: Offered load as a fraction of per-slice channel capacity; the top of
+#: the axis is source line rate (the injection process cannot offer more
+#: than one flit per slot).
+LOAD_SWEEP_LOADS = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+
+#: The patterns that get a registered ``load-sweep-<pattern>`` sweep.
+LOAD_SWEEP_PATTERNS = (
+    "uniform",
+    "transpose",
+    "bit-complement",
+    "neighbor",
+    "halo",
+    "hotspot",
+    "all-to-all",
+)
+
+
+def _load_sweep_grid(pattern: str) -> ParameterGrid:
+    return ParameterGrid(
+        {
+            "dims": [(2, 2, 2)],
+            "chip_cols": 6,
+            "chip_rows": 6,
+            "pattern": pattern,
+            "offered_load": list(LOAD_SWEEP_LOADS),
+            "machine_seed": 7,
+            "traffic_seed": 11,
+            "warmup_ns": 400.0,
+            "measure_ns": 1600.0,
+        }
+    )
+
+
+LOAD_SWEEP_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 1, 1)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "uniform",
+        "offered_load": [0.05, 0.2, 0.4],
+        "machine_seed": 7,
+        "traffic_seed": 11,
+        "warmup_ns": 200.0,
+        "measure_ns": 600.0,
+    }
+)
+
+register(
+    Experiment(
+        name="load_sweep",
+        fn=_load_point,
+        grid=_load_sweep_grid("uniform"),
+        smoke_grid=LOAD_SWEEP_SMOKE_GRID,
+        description="Open-loop synthetic-traffic load point "
+        "(latency vs offered load)",
+    )
+)
+
+LOAD_SWEEPS = {
+    f"load-sweep-{pattern}": Sweep(
+        "load_sweep", _load_sweep_grid(pattern), label=f"load-sweep-{pattern}"
+    )
+    for pattern in LOAD_SWEEP_PATTERNS
+}
+
+# ---------------------------------------------------------------------------
 # 512-node scaling study: the 8x8x8 torus with reduced-size chips.
 # ---------------------------------------------------------------------------
 
@@ -192,6 +268,7 @@ BUILTIN_SWEEPS = {
         FIG11_SWEEP,
         SCALING_512_FENCE_SWEEP,
         SCALING_512_LATENCY_SWEEP,
+        *LOAD_SWEEPS.values(),
     )
 }
 

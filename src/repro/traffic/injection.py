@@ -1,0 +1,79 @@
+"""Open-loop injection processes parameterized by offered load.
+
+Offered load is expressed as a fraction of per-slice channel capacity:
+at load 1.0 a node injects flits at exactly the rate one SERDES channel
+slice can serialize them (one 192-bit flit per
+:attr:`~repro.netsim.params.LatencyParams.flit_serialization_ns`).  The
+two processes share that normalization and differ only in gap statistics:
+
+* ``periodic`` — deterministic gaps of exactly ``1 / rate``; the offered
+  rate is met exactly, which the accounting tests rely on.
+* ``bernoulli`` — a slotted Bernoulli process: every flit slot injects
+  with probability ``rate * slot``, giving geometrically distributed
+  gaps with the same mean (the memoryless arrivals standard for
+  latency-load curves).
+
+Being open-loop, the process never reacts to network backpressure — past
+saturation the source keeps offering load and queueing delay diverges,
+which is exactly the behavior the saturation analysis measures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..netsim.params import DEFAULT_PARAMS, LatencyParams
+
+__all__ = ["InjectionProcess", "offered_load_to_rate"]
+
+PROCESS_KINDS = ("bernoulli", "periodic")
+
+
+def offered_load_to_rate(offered_load: float,
+                         params: LatencyParams = DEFAULT_PARAMS,
+                         flits_per_packet: int = 1) -> float:
+    """Packets per nanosecond per node for one offered-load fraction."""
+    if offered_load <= 0:
+        raise ValueError("offered load must be positive")
+    if flits_per_packet < 1:
+        raise ValueError("packets carry at least one flit")
+    flits_per_ns = offered_load / params.flit_serialization_ns
+    return flits_per_ns / flits_per_packet
+
+
+class InjectionProcess:
+    """Generates inter-injection gaps (ns) for one source node."""
+
+    def __init__(self, rate_per_ns: float, kind: str = "bernoulli",
+                 rng: Optional[random.Random] = None,
+                 slot_ns: Optional[float] = None) -> None:
+        if rate_per_ns <= 0:
+            raise ValueError("injection rate must be positive")
+        if kind not in PROCESS_KINDS:
+            raise ValueError(f"unknown injection process {kind!r}; "
+                             f"known: {', '.join(PROCESS_KINDS)}")
+        self.rate_per_ns = rate_per_ns
+        self.kind = kind
+        self.rng = rng if rng is not None else random.Random(0)
+        self.slot_ns = (slot_ns if slot_ns is not None
+                        else DEFAULT_PARAMS.flit_serialization_ns)
+        if kind == "bernoulli":
+            self._p = min(1.0, rate_per_ns * self.slot_ns)
+
+    @property
+    def mean_gap_ns(self) -> float:
+        return 1.0 / self.rate_per_ns
+
+    def next_gap_ns(self) -> float:
+        """Time from one injection to the next."""
+        if self.kind == "periodic":
+            return self.mean_gap_ns
+        if self._p >= 1.0:
+            return self.slot_ns
+        # Geometric number of slots until the next success (support >= 1),
+        # by inverse transform; random() is in [0, 1) so 1-u is in (0, 1].
+        u = 1.0 - self.rng.random()
+        slots = math.floor(math.log(u) / math.log(1.0 - self._p)) + 1
+        return slots * self.slot_ns

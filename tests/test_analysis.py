@@ -8,10 +8,17 @@ from repro.analysis import (
     AreaModel,
     Comparison,
     LinearFit,
+    analyze_load_sweep,
     comparison_table,
+    detect_saturation,
     fit_latency_vs_hops,
     format_table,
+    grouped_percentile_table,
+    grouped_percentiles,
+    load_sweep_table,
+    percentile,
     render_ascii,
+    summarize_values,
     trace_from_breakdowns,
     within_band,
 )
@@ -128,6 +135,125 @@ class TestActivityTrace:
     def test_render_validates_bins(self):
         with pytest.raises(ValueError):
             render_ascii(self.make_trace(), bins=0)
+
+
+class TestPercentiles:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_percentile_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_summarize_values_columns(self):
+        summary = summarize_values([float(v) for v in range(1, 101)])
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_grouped_percentiles_by_sweep_key(self):
+        runs = []
+        for hops in (1, 2):
+            for latency in (10.0 * hops, 20.0 * hops, 30.0 * hops):
+                runs.append({"params": {"hops": hops},
+                             "result": {"one_way_ns": latency}})
+        groups = grouped_percentiles(runs, by="hops", value="one_way_ns")
+        assert set(groups) == {1, 2}
+        assert groups[1]["mean"] == pytest.approx(20.0)
+        assert groups[2]["p50"] == pytest.approx(40.0)
+        assert groups[1]["count"] == 3
+
+    def test_grouped_percentiles_numeric_key_order(self):
+        runs = [{"params": {"hops": h}, "result": {"ns": 1.0}}
+                for h in (10, 2, 1)]
+        groups = grouped_percentiles(runs, by="hops", value="ns")
+        assert list(groups) == [1, 2, 10]
+
+    def test_grouped_percentiles_nested_result_keys(self):
+        runs = [{"params": {"load": 0.1},
+                 "result": {"latency": {"mean": 5.0}}}]
+        groups = grouped_percentiles(runs, by="load", value="latency.mean")
+        assert groups[0.1]["count"] == 1
+
+    def test_grouped_percentile_table_renders(self):
+        runs = [{"params": {"hops": 1}, "result": {"ns": 10.0}}]
+        text = grouped_percentile_table(runs, by="hops", value="ns",
+                                        title="per hop")
+        assert "per hop" in text and "p99" in text
+        assert "(no samples)" in grouped_percentile_table(
+            [], by="hops", value="ns")
+
+
+def _load_run(load, mean_latency, accepted=None, pattern="uniform"):
+    return {
+        "params": {"offered_load": load},
+        "result": {
+            "offered_load": load,
+            "pattern": pattern,
+            "accepted_load": accepted if accepted is not None else load,
+            "classes": {"request": {"latency_ns": {"mean": mean_latency}}},
+        },
+    }
+
+
+class TestSaturation:
+    def test_detect_interpolates_crossing(self):
+        loads = [0.1, 0.5, 0.9]
+        latencies = [100.0, 110.0, 500.0]
+        # Threshold 300 crossed between 0.5 and 0.9.
+        point = detect_saturation(loads, latencies, latency_multiple=3.0)
+        assert point == pytest.approx(0.5 + 0.4 * (300 - 110) / (500 - 110))
+
+    def test_detect_none_when_flat(self):
+        assert detect_saturation([0.1, 0.5], [100.0, 120.0]) is None
+
+    def test_detect_validation(self):
+        with pytest.raises(ValueError):
+            detect_saturation([0.5, 0.1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            detect_saturation([], [])
+        with pytest.raises(ValueError):
+            detect_saturation([0.1], [1.0], latency_multiple=1.0)
+
+    def test_analyze_load_sweep_sorts_and_detects(self):
+        runs = [_load_run(0.9, 400.0, accepted=0.6),
+                _load_run(0.1, 100.0),
+                _load_run(0.5, 110.0)]
+        analysis = analyze_load_sweep(runs)
+        assert analysis.pattern == "uniform"
+        assert analysis.zero_load_latency_ns == 100.0
+        assert [p[0] for p in analysis.points] == [0.1, 0.5, 0.9]
+        assert analysis.saturated
+        assert 0.5 < analysis.saturation_load < 0.9
+        assert analysis.to_dict()["saturation_load"] == pytest.approx(
+            analysis.saturation_load)
+
+    def test_analyze_rejects_mixed_patterns_and_empty(self):
+        with pytest.raises(ValueError):
+            analyze_load_sweep([_load_run(0.1, 1.0, pattern="uniform"),
+                                _load_run(0.2, 1.0, pattern="neighbor")])
+        with pytest.raises(ValueError):
+            analyze_load_sweep([{"params": {}, "result": {}}])
+
+    def test_load_sweep_table_mentions_saturation(self):
+        runs = [_load_run(0.1, 100.0), _load_run(0.9, 500.0, accepted=0.6)]
+        text = load_sweep_table(runs, title="sweep")
+        assert "sweep" in text
+        assert "saturation at offered load" in text
+        flat = load_sweep_table([_load_run(0.1, 100.0)])
+        assert "no saturation" in flat
 
 
 class TestReportHelpers:

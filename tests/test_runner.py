@@ -295,6 +295,40 @@ class TestCli:
         table = capsys.readouterr().out
         assert "latencies" in table and "run-fig11_fence" in table
 
+    def test_report_grouped_percentiles(self, tmp_path, capsys):
+        output = tmp_path / "out.json"
+        payload = {
+            "sweeps": [
+                {
+                    "label": "demo",
+                    "experiment": "fig5_latency",
+                    "runs": [
+                        {"params": {"hops": h}, "result": {"ns": 10.0 * h + d}}
+                        for h in (1, 2)
+                        for d in (0.0, 2.0)
+                    ],
+                }
+            ]
+        }
+        output.write_text(json.dumps(payload), encoding="utf-8")
+        code = main(
+            ["report", "--input", str(output), "--percentiles", "hops:ns"]
+        )
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "demo" in table and "p99" in table and "hops" in table
+        capsys.readouterr()
+
+        assert main(["report", "--input", str(output), "--percentiles", "bad"]) == 2
+        assert "BY:VALUE" in capsys.readouterr().err
+
+        code = main(
+            ["report", "--input", str(output), "--percentiles", "hops:ns",
+             "--format", "csv"]
+        )
+        assert code == 2
+        assert "--format csv" in capsys.readouterr().err
+
     def test_csv_output(self, tmp_path, capsys):
         code = main(
             ["run", "fig11_fence",
