@@ -1,14 +1,19 @@
-"""Load-sweep saturation: the classic latency-vs-offered-load shape.
+"""Load-sweep saturation: the classic latency-vs-offered-load shapes.
 
-Open-loop synthetic traffic on the 8-node torus, swept through the
-registered ``load-sweep-*`` grids (``repro.runner.experiments``) via the
-parallel runner and the session result cache.  The assertions pin the
-textbook interconnect behavior: mean latency is flat at low offered
-load, diverges as the network approaches saturation, and the
-nearest-neighbor exchange — one torus hop per packet — saturates at a
-measurably higher offered load than uniform random traffic, which
-averages ~1.7 hops on this torus and so consumes more channel capacity
-per delivered flit.
+Open-loop synthetic traffic swept through the registered
+``load-sweep-*`` grids (``repro.runner.experiments``) via the parallel
+runner and the session result cache.  Since the routing subsystem
+(PR 3) introduced per-VC link arbitration and the per-source VC-class
+spread, the benign patterns no longer saturate the 2x2x2 torus — the
+full four-VC request budget carries uniform random and nearest-neighbor
+traffic at line rate with flat latency — so the textbook divergence is
+pinned on the patterns that still stress the fabric:
+
+* **hotspot** — half of all packets converge on one node, so accepted
+  load plateaus at the hot endpoint's capacity and latency diverges;
+* **tornado** — the half-way ring offset on the 8x1x1 ring loads one
+  ring direction only, collapsing minimal routing early (the curve the
+  routing ablations compare against Valiant).
 """
 
 import pytest
@@ -36,50 +41,73 @@ def neighbor_analysis(runner_cache):
     return _sweep_analysis("neighbor", runner_cache)
 
 
+@pytest.fixture(scope="module")
+def hotspot_analysis(runner_cache):
+    return _sweep_analysis("hotspot", runner_cache)
+
+
+@pytest.fixture(scope="module")
+def tornado_analysis(runner_cache):
+    return _sweep_analysis("tornado", runner_cache)
+
+
 def test_latency_flat_at_low_load(uniform_analysis):
-    """Below ~half of saturation the curve sits on the zero-load floor."""
+    """Below half the axis the curve sits on the zero-load floor."""
     zero = uniform_analysis.zero_load_latency_ns
     low = [lat for load, lat, __ in uniform_analysis.points if load <= 0.4]
     assert len(low) >= 3
     assert all(lat < 1.10 * zero for lat in low)
 
 
-def test_latency_diverges_near_saturation(uniform_analysis):
-    """Uniform random saturates inside the sweep and latency blows up."""
-    assert uniform_analysis.saturated
-    assert 0.5 < uniform_analysis.saturation_load <= 1.0
-    top = max(lat for __, lat, __unused in uniform_analysis.points)
-    assert top > 2.5 * uniform_analysis.zero_load_latency_ns
+def test_uniform_sustains_line_rate(uniform_analysis):
+    """Open-loop accounting on the benign pattern: accepted tracks
+    offered all the way up the axis, latency stays on the floor."""
+    assert not uniform_analysis.saturated
+    for load, lat, accepted in uniform_analysis.points:
+        assert accepted == pytest.approx(load, rel=0.05)
+        assert lat < 1.10 * uniform_analysis.zero_load_latency_ns
 
 
-def test_accepted_tracks_offered_below_saturation(uniform_analysis):
+def test_neighbor_is_cheaper_and_flat(uniform_analysis, neighbor_analysis):
+    """One torus hop per packet: lower floor than uniform (~1.7 hops),
+    and no saturation anywhere in the sweep."""
+    assert not neighbor_analysis.saturated
+    assert (neighbor_analysis.zero_load_latency_ns
+            < 0.8 * uniform_analysis.zero_load_latency_ns)
+    top = max(lat for __, lat, __unused in neighbor_analysis.points)
+    assert top < 1.10 * neighbor_analysis.zero_load_latency_ns
+
+
+def test_hotspot_latency_diverges_near_saturation(hotspot_analysis):
+    """Endpoint contention saturates inside the sweep: latency blows up
+    past the knee while accepted load plateaus below the axis top."""
+    assert hotspot_analysis.saturated
+    assert 0.5 < hotspot_analysis.saturation_load <= 1.0
+    top = max(lat for __, lat, __unused in hotspot_analysis.points)
+    assert top > 2.5 * hotspot_analysis.zero_load_latency_ns
+    assert hotspot_analysis.max_accepted_load < 0.85
+
+
+def test_accepted_tracks_offered_below_saturation(hotspot_analysis):
     """Open-loop accounting: accepted == offered until the knee."""
-    knee = uniform_analysis.saturation_load * 0.8
+    knee = hotspot_analysis.saturation_load * 0.8
     below = [(load, accepted)
-             for load, __, accepted in uniform_analysis.points
+             for load, __, accepted in hotspot_analysis.points
              if load <= knee]
     assert below
     for load, accepted in below:
         assert accepted == pytest.approx(load, rel=0.05)
 
 
-def test_neighbor_saturates_at_higher_load(uniform_analysis,
-                                           neighbor_analysis, benchmark):
-    """Nearest-neighbor traffic outlasts uniform random on the torus."""
-    analysis = benchmark.pedantic(
-        lambda: neighbor_analysis, rounds=1, iterations=1)
-    if analysis.saturated:
-        assert analysis.saturation_load > 1.1 * uniform_analysis.saturation_load
-    # Where uniform has already left the floor, neighbor is still flat.
-    neighbor_at = {load: lat for load, lat, __ in analysis.points}
-    uniform_at = {load: lat for load, lat, __ in uniform_analysis.points}
-    assert neighbor_at[0.9] < 1.15 * analysis.zero_load_latency_ns
-    assert uniform_at[0.9] > 1.5 * uniform_analysis.zero_load_latency_ns
-    assert neighbor_at[0.9] < uniform_at[0.9]
-
-
-def test_neighbor_accepts_full_line_rate(neighbor_analysis):
-    """At offered load 1.0 the neighbor exchange still delivers it all."""
-    load, __, accepted = neighbor_analysis.points[-1]
-    assert load == pytest.approx(1.0)
-    assert accepted == pytest.approx(1.0, rel=0.03)
+def test_tornado_collapses_earliest(hotspot_analysis, tornado_analysis,
+                                    benchmark):
+    """The adversarial ring pattern saturates far earlier than endpoint
+    contention, and past the knee its accepted load *collapses* (tree
+    saturation), not merely plateaus — the curve the routing ablations
+    (benchmarks/test_routing_ablation.py) pit against Valiant."""
+    analysis = benchmark.pedantic(lambda: tornado_analysis, rounds=1,
+                                  iterations=1)
+    assert analysis.saturated
+    assert analysis.saturation_load < 0.6 * hotspot_analysis.saturation_load
+    accepted_at_top = analysis.points[-1][2]
+    assert accepted_at_top < 0.5 * analysis.max_accepted_load

@@ -1,0 +1,55 @@
+"""Routing ablation: one traffic pattern, several routing policies.
+
+Sweeps open-loop tornado traffic (the half-way ring offset where
+minimal dimension-order routing collapses) on an 8-node ring under
+three routing policies and prints the latency-vs-load table per policy
+— fixed-xyz collapses, randomized minimal limps, Valiant keeps both
+ring directions busy.  The same curves (plus transpose, bit-complement
+and hotspot) are available through the parallel runner as registered
+sweeps::
+
+    repro-runner sweep route-ablation-valiant route-ablation-fixed-xyz
+
+and can be rendered as an ASCII chart straight from the results::
+
+    repro-runner sweep route-ablation-valiant -o out.json
+    repro-runner report --input out.json \
+        --plot offered_load:classes.request.latency_ns.mean \
+        --plot-by pattern,routing
+
+Run:  python examples/routing_ablation.py
+"""
+
+from repro.analysis import load_sweep_table
+from repro.traffic import measure_load_sweep
+
+RING = (8, 1, 1)
+LOADS = [0.05, 0.2, 0.45]
+POLICIES = ("fixed-xyz", "randomized-minimal", "valiant")
+
+
+def main() -> None:
+    ceilings = {}
+    for routing in POLICIES:
+        sweep = measure_load_sweep(
+            LOADS,
+            dims=RING,
+            chip_cols=6,
+            chip_rows=6,
+            pattern="tornado",
+            routing=routing,
+            warmup_ns=300.0,
+            measure_ns=1000.0,
+        )
+        runs = [{"result": point} for point in sweep["points"]]
+        print(load_sweep_table(runs, title=f"tornado under {routing}"))
+        print()
+        ceilings[routing] = max(point["accepted_load"]
+                                for point in sweep["points"])
+    print("accepted-load ceilings:",
+          "  ".join(f"{name}={ceiling:.3f}"
+                    for name, ceiling in ceilings.items()))
+
+
+if __name__ == "__main__":
+    main()

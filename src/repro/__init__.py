@@ -7,6 +7,7 @@ Reproduction of "The Specialized High-Performance Network on Anton 3"
 * :mod:`repro.engine` — discrete-event simulation kernel.
 * :mod:`repro.topology` — 3D torus and on-chip 2D meshes.
 * :mod:`repro.netsim` — flit-level network simulator (routers, channels).
+* :mod:`repro.routing` — pluggable inter-node routing policies.
 * :mod:`repro.sync` — counted writes and blocking reads.
 * :mod:`repro.fence` — the network fence (merge, multicast, barriers).
 * :mod:`repro.compression` — INZ and the particle cache.

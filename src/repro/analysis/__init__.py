@@ -21,12 +21,15 @@ from .aggregate import (
 )
 from .area import PAPER_TABLE2, PAPER_TABLE3, AreaModel, AreaRow
 from .fits import LinearFit, fit_latency_vs_hops
+from .plot import ascii_chart, series_from_runs
 from .report import Comparison, comparison_table, format_table, within_band
 from .saturation import (
     SaturationAnalysis,
     analyze_load_sweep,
     detect_saturation,
+    group_load_sweep_runs,
     load_sweep_table,
+    load_sweep_tables,
 )
 
 __all__ = [
@@ -47,8 +50,12 @@ __all__ = [
     "sweeps_to_csv",
     "SaturationAnalysis",
     "analyze_load_sweep",
+    "ascii_chart",
     "detect_saturation",
+    "group_load_sweep_runs",
     "load_sweep_table",
+    "load_sweep_tables",
+    "series_from_runs",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "AreaModel",

@@ -1,0 +1,138 @@
+"""ASCII scatter/line charts for sweep results (``report --plot``).
+
+Terminal-friendly plotting so latency-load curves (and any other sweep
+column pair) can be eyeballed straight from ``repro-runner report``
+without a plotting stack: points are binned onto a character raster
+with labeled axis extents, and multiple series (e.g. one routing policy
+per marker) share the raster with a legend.
+
+The renderer is deliberately dependency-free and deterministic: same
+points in, same characters out, so tests can assert on the output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["ascii_chart", "series_from_runs"]
+
+#: Marker characters assigned to series in insertion order.
+SERIES_MARKERS = "*o+x#@%&"
+
+Point = Tuple[float, float]
+
+
+def _bounds(values: Sequence[float]) -> Tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        # Degenerate axis: pad so the single value sits mid-scale.
+        pad = abs(lo) * 0.5 or 0.5
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render named point series as one ASCII chart.
+
+    ``series`` maps a legend label to its ``(x, y)`` points; all series
+    share the axis scales.  ``width``/``height`` size the plotting
+    raster (axes and labels come on top).  Series beyond the marker
+    alphabet reuse its last marker.
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart needs width >= 8 and height >= 4")
+    named = [(label, [(float(x), float(y)) for x, y in points])
+             for label, points in series.items() if points]
+    if not named:
+        raise ValueError("nothing to plot: every series is empty")
+    xs = [x for __, points in named for x, __unused in points]
+    ys = [y for __, points in named for __unused, y in points]
+    x_lo, x_hi = _bounds(xs)
+    y_lo, y_hi = _bounds(ys)
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (label, points) in enumerate(named):
+        marker = SERIES_MARKERS[min(index, len(SERIES_MARKERS) - 1)]
+        for x, y in points:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_ticks = (_format_tick(y_hi), _format_tick(y_lo))
+    margin = max(len(tick) for tick in y_ticks)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{'':{margin}} {y_label}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = y_ticks[0]
+        elif row_index == height - 1:
+            tick = y_ticks[1]
+        else:
+            tick = ""
+        lines.append(f"{tick:>{margin}} |{''.join(row)}")
+    lines.append(f"{'':{margin}} +{'-' * width}")
+    x_lo_tick, x_hi_tick = _format_tick(x_lo), _format_tick(x_hi)
+    gap = max(1, width - len(x_lo_tick) - len(x_hi_tick))
+    lines.append(f"{'':{margin}}  {x_lo_tick}{'':{gap}}{x_hi_tick}")
+    if x_label:
+        lines.append(f"{'':{margin}}  {x_label}")
+    if len(named) > 1 or named[0][0]:
+        legend = "   ".join(
+            f"{SERIES_MARKERS[min(i, len(SERIES_MARKERS) - 1)]} {label}"
+            for i, (label, __) in enumerate(named))
+        lines.append(f"{'':{margin}}  {legend}")
+    return "\n".join(lines)
+
+
+def series_from_runs(
+    runs: Iterable[Mapping[str, object]],
+    x: str,
+    y: str,
+    by: Sequence[str] = (),
+) -> Dict[str, List[Point]]:
+    """Extract chart series from runner run records.
+
+    ``x`` and ``y`` are flattened column names (parameter keys or dotted
+    result paths, e.g. ``classes.request.latency_ns.mean`` — the same
+    naming ``report --percentiles`` uses); ``by`` groups runs into one
+    series per distinct value combination (e.g. ``("pattern",
+    "routing")``).  Runs missing a column, or with non-numeric values,
+    are skipped; each series comes back sorted by x.
+    """
+    from .aggregate import flatten_mapping
+
+    series: Dict[str, List[Point]] = {}
+    for run in runs:
+        flat = flatten_mapping(run.get("params", {}) or {})
+        flat.update(flatten_mapping(run.get("result", {}) or {}))
+        try:
+            point = (float(flat[x]), float(flat[y]))  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            continue
+        if not all(math.isfinite(v) for v in point):
+            continue
+        label = "/".join(str(flat.get(key, "?")) for key in by)
+        series.setdefault(label, []).append(point)
+    for points in series.values():
+        points.sort()
+    return series

@@ -20,7 +20,9 @@ __all__ = [
     "SaturationAnalysis",
     "detect_saturation",
     "analyze_load_sweep",
+    "group_load_sweep_runs",
     "load_sweep_table",
+    "load_sweep_tables",
 ]
 
 DEFAULT_LATENCY_MULTIPLE = 3.0
@@ -36,14 +38,24 @@ class SaturationAnalysis:
     saturation_load: Optional[float]
     #: (offered load, mean request latency ns, accepted load) per point.
     points: Tuple[Tuple[float, float, float], ...]
+    #: Routing policy the curve was measured under ("" for pre-routing
+    #: records that did not carry the field).
+    routing: str = ""
 
     @property
     def saturated(self) -> bool:
         return self.saturation_load is not None
 
+    @property
+    def max_accepted_load(self) -> float:
+        """The highest accepted load any point sustained — the curve's
+        throughput ceiling, the routing-ablation comparison metric."""
+        return max(accepted for __, __unused, accepted in self.points)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "pattern": self.pattern,
+            "routing": self.routing,
             "zero_load_latency_ns": self.zero_load_latency_ns,
             "latency_multiple": self.latency_multiple,
             "saturation_load": self.saturation_load,
@@ -83,7 +95,9 @@ def detect_saturation(
     return None
 
 
-def _point_from_run(run: Mapping[str, object]) -> Optional[Tuple[float, float, float, str]]:
+def _point_from_run(
+    run: Mapping[str, object],
+) -> Optional[Tuple[float, float, float, str, str]]:
     result = run.get("result")
     if not isinstance(result, Mapping):
         return None
@@ -101,6 +115,7 @@ def _point_from_run(run: Mapping[str, object]) -> Optional[Tuple[float, float, f
         float(latency["mean"]),
         float(result.get("accepted_load", 0.0)),
         str(result.get("pattern", "")),
+        str(result.get("routing", "")),
     )
 
 
@@ -116,27 +131,52 @@ def analyze_load_sweep(
     """
     points: List[Tuple[float, float, float]] = []
     patterns = set()
+    routings = set()
     for run in runs:
         extracted = _point_from_run(run)
         if extracted is None:
             continue
-        load, latency, accepted, pattern = extracted
+        load, latency, accepted, pattern, routing = extracted
         points.append((load, latency, accepted))
         patterns.add(pattern)
+        routings.add(routing)
     if not points:
         raise ValueError("no completed load-sweep points in these runs")
     if len(patterns) > 1:
         raise ValueError(
             f"load sweep mixes traffic patterns: {sorted(patterns)}")
+    if len(routings) > 1:
+        raise ValueError(
+            f"load sweep mixes routing policies: {sorted(routings)}")
     points.sort(key=lambda p: p[0])
     loads = [p[0] for p in points]
     latencies = [p[1] for p in points]
     return SaturationAnalysis(
         pattern=patterns.pop(),
+        routing=routings.pop(),
         zero_load_latency_ns=latencies[0],
         latency_multiple=latency_multiple,
         saturation_load=detect_saturation(loads, latencies, latency_multiple),
         points=tuple(points))
+
+
+def group_load_sweep_runs(
+    runs: Iterable[Mapping[str, object]],
+) -> Dict[Tuple[str, str], List[Mapping[str, object]]]:
+    """Split run records into per-curve groups keyed ``(pattern, routing)``.
+
+    Routing-ablation sweeps mix several adversarial patterns (and report
+    pages mix several policies) in one record stream; each group is one
+    latency-vs-load curve :func:`analyze_load_sweep` accepts.
+    """
+    groups: Dict[Tuple[str, str], List[Mapping[str, object]]] = {}
+    for run in runs:
+        extracted = _point_from_run(run)
+        if extracted is None:
+            continue
+        __, __unused, __a, pattern, routing = extracted
+        groups.setdefault((pattern, routing), []).append(run)
+    return groups
 
 
 def load_sweep_table(
@@ -159,4 +199,30 @@ def load_sweep_table(
                    f"(latency stayed under {analysis.latency_multiple:g}x "
                    f"zero-load {analysis.zero_load_latency_ns:.1f} ns)")
     header = f"{title}\n" if title else ""
-    return f"{header}{table}\n{analysis.pattern}: {verdict}"
+    curve = (f"{analysis.pattern}/{analysis.routing}" if analysis.routing
+             else analysis.pattern)
+    return f"{header}{table}\n{curve}: {verdict}"
+
+
+def load_sweep_tables(
+    runs: Iterable[Mapping[str, object]],
+    latency_multiple: float = DEFAULT_LATENCY_MULTIPLE,
+    title: str = "",
+) -> str:
+    """Per-curve latency-vs-load tables for a mixed record stream.
+
+    Groups the runs by ``(pattern, routing)`` and renders one
+    :func:`load_sweep_table` per curve — the report format for
+    ``route-ablation-*`` sweeps, which mix adversarial patterns on
+    purpose.  Raises ``ValueError`` when no group yields any points.
+    """
+    groups = group_load_sweep_runs(runs)
+    if not groups:
+        raise ValueError("no completed load-sweep points in these runs")
+    tables = []
+    for (pattern, routing) in sorted(groups):
+        curve = f"{pattern}/{routing}" if routing else pattern
+        label = f"{title} [{curve}]" if title else curve
+        tables.append(load_sweep_table(groups[(pattern, routing)],
+                                       latency_multiple, title=label))
+    return "\n\n".join(tables)

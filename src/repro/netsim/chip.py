@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..engine.simulator import Simulator
+from ..routing.policy import next_request_direction, note_hop
 from ..sync.blocking_read import BlockingReadPort
 from ..sync.sram import QuadSram
 from ..topology.torus import Coord, Torus3D
@@ -220,19 +221,27 @@ class ChipNetwork(CoreNetworkHost):
     # ------------------------------------------------------------------
 
     def next_direction(self, packet: Packet) -> Optional[Tuple[int, int]]:
-        """First axis of the packet's dimension order still unresolved."""
+        """The packet's next torus direction from this node.
+
+        Responses are pinned here, not in any policy: mesh-restricted
+        XYZ (Section III-B2), so no wraparound moves and a single
+        response VC stays deadlock-free.  Requests resolve their
+        injection-time :class:`~repro.routing.policy.RoutePlan` (or the
+        legacy single-phase ``dim_order`` when no plan was attached).
+        """
         if packet.traffic_class is TrafficClass.RESPONSE:
-            # Mesh-restricted XYZ (Section III-B2): no wraparound moves.
             for axis in (0, 1, 2):
                 delta = packet.dst_node[axis] - self.coord[axis]
                 if delta:
                     return (axis, 1 if delta > 0 else -1)
             return None
-        offsets = self.torus.offsets(self.coord, packet.dst_node)
-        for axis in packet.dim_order:
-            if offsets[axis]:
-                return (axis, 1 if offsets[axis] > 0 else -1)
-        return None
+        return next_request_direction(packet, self.coord, self.torus)
+
+    def _note_torus_hop(self, packet: Packet,
+                        direction: Tuple[int, int]) -> None:
+        """Maintain the request dateline/VC state for one planned hop."""
+        if packet.traffic_class is TrafficClass.REQUEST:
+            note_hop(packet, self.coord, direction, self.torus)
 
     def _edge_for_slice(self, slice_index: int) -> EdgeNetwork:
         return self.edges[SIDES[slice_index % 2]]
@@ -244,6 +253,7 @@ class ChipNetwork(CoreNetworkHost):
             raise FabricError(
                 f"{self.coord}: packet {packet.pid} entered the edge "
                 "network with no remaining torus hops")
+        self._note_torus_hop(packet, direction)
         edge = self._edge_for_slice(packet.slice_index)
         row = edge.direction_rows[direction]
         via = self._rng.choice((0, 1))  # inner columns, randomized
@@ -270,6 +280,7 @@ class ChipNetwork(CoreNetworkHost):
                 via_col=via, row=packet.dst_core.tile_v, exit_col=0,
                 exit_port="RA")
             return "edge"
+        self._note_torus_hop(packet, direction)
         axis_in, sign_in = arrival_direction
         continuing = (direction[0] == axis_in
                       and direction[1] == -sign_in)
@@ -306,6 +317,23 @@ class ChipNetwork(CoreNetworkHost):
     def channel_adapter(self, direction: Tuple[int, int],
                         slice_index: int) -> ChannelAdapter:
         return self.channel_adapters[(direction, slice_index)]
+
+    def channel_queue_packets(self, direction: Tuple[int, int],
+                              slice_index: Optional[int] = None) -> int:
+        """Packets queued on this node's outgoing channel in ``direction``.
+
+        The local-occupancy signal adaptive routing policies consult at
+        injection; with ``slice_index`` ``None`` both slices are summed
+        (the slice is drawn after the order is chosen).
+        """
+        slices = (0, 1) if slice_index is None else (slice_index,)
+        total = 0
+        for index in slices:
+            ca = self.channel_adapters[(direction, index)]
+            link = ca.output_or_none("channel")
+            if link is not None:
+                total += link.queued
+        return total
 
 
 def _ca_port(direction: Tuple[int, int]) -> str:

@@ -47,10 +47,15 @@ def compact_direction_rows() -> Dict[Tuple[int, int], int]:
 
 
 def edge_vc(packet: Packet) -> int:
-    """Edge-network VC for a packet (4 request VCs + 1 response VC)."""
+    """Edge-network VC for a packet (4 request VCs + 1 response VC).
+
+    Requests carry their phase/dateline VC (``request_vc`` reads the
+    state :func:`repro.routing.note_hop` maintains) through the edge
+    mesh and onto the channel; responses always ride the response VC.
+    """
     if packet.traffic_class is TrafficClass.RESPONSE:
         return RESPONSE_VC
-    return request_vc(packet, crossed_dateline=False)
+    return request_vc(packet)
 
 
 @dataclass

@@ -36,6 +36,13 @@ class _QueuedSend:
 class Link:
     """A point-to-point channel with credits and a serialization resource.
 
+    Each virtual channel has its own send queue; the serialization
+    resource arbitrates round-robin over the VCs whose head packet has
+    downstream credits.  The per-VC queues matter for correctness, not
+    just fairness: a VC blocked on credits must not stall the others, or
+    the dateline VC discipline of the torus routing
+    (:mod:`repro.routing`) could deadlock behind a single shared FIFO.
+
     Attributes:
         name: Debug name.
         latency_ns: Propagation delay after serialization completes
@@ -56,7 +63,8 @@ class Link:
         self._credits = [credit_flits] * vcs
         self._deliver = deliver
         self._busy_until = 0.0
-        self._queue: Deque[_QueuedSend] = deque()
+        self._queues: List[Deque[_QueuedSend]] = [deque() for __ in range(vcs)]
+        self._next_vc = 0  # round-robin arbitration pointer
         self.packets_sent = 0
         self.flits_sent = 0
         self.busy_ns = 0.0
@@ -66,7 +74,7 @@ class Link:
         """Queue ``packet`` for transmission on ``vc``."""
         if not 0 <= vc < self.vcs:
             raise FabricError(f"{self.name}: VC {vc} out of range")
-        self._queue.append(_QueuedSend(packet, vc, on_accept))
+        self._queues[vc].append(_QueuedSend(packet, vc, on_accept))
         self._dispatch()
 
     def return_credits(self, vc: int, flits: int) -> None:
@@ -74,18 +82,28 @@ class Link:
         self._credits[vc] += flits
         self._dispatch()
 
+    def _eligible_vc(self) -> Optional[int]:
+        """The next VC (round-robin) whose head packet has credits."""
+        for offset in range(self.vcs):
+            vc = (self._next_vc + offset) % self.vcs
+            queue = self._queues[vc]
+            if queue and self._credits[vc] >= queue[0].packet.num_flits:
+                return vc
+        return None
+
     def _dispatch(self) -> None:
         now = self._sim.now
-        while self._queue:
-            head = self._queue[0]
-            if self._credits[head.vc] < head.packet.num_flits:
-                return  # head-of-line blocked on credits
+        while True:
+            vc = self._eligible_vc()
+            if vc is None:
+                return  # every queued VC is blocked on credits (or empty)
             if self._busy_until > now:
                 # Channel busy: retry when it frees.
                 self._sim.at(self._busy_until, self._dispatch)
                 return
-            self._queue.popleft()
-            self._credits[head.vc] -= head.packet.num_flits
+            self._next_vc = (vc + 1) % self.vcs
+            head = self._queues[vc].popleft()
+            self._credits[vc] -= head.packet.num_flits
             ser = head.packet.num_flits * self.ser_ns_per_flit
             start = now
             self._busy_until = start + ser
@@ -95,13 +113,13 @@ class Link:
             if head.on_accept is not None:
                 head.on_accept()
             arrival = self._busy_until + self.latency_ns
-            packet, vc = head.packet, head.vc
+            packet = head.packet
             self._sim.at(arrival, lambda p=packet, v=vc: self._deliver(
                 p, v, self))
 
     @property
     def queued(self) -> int:
-        return len(self._queue)
+        return sum(len(queue) for queue in self._queues)
 
 
 @dataclass
@@ -152,6 +170,15 @@ class Router:
             raise FabricError(
                 f"{self.name}: no output port {port!r}; "
                 f"have {sorted(self._out)}") from None
+
+    def output_or_none(self, port: str) -> Optional[Link]:
+        """The link wired to ``port``, or ``None`` before wiring.
+
+        For observers (statistics, congestion probes) that must tolerate
+        partially wired fabrics without the FabricError of
+        :meth:`output`.
+        """
+        return self._out.get(port)
 
     # -- pipeline ---------------------------------------------------------
 

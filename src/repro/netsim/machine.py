@@ -15,7 +15,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.seeding import derive_seed
 from ..engine.simulator import Simulator
-from ..topology.torus import Coord, DIMENSION_ORDERS, DIRECTIONS, Torus3D
+from ..routing import DEFAULT_POLICY, RoutePlan, RoutingPolicy, make_policy
+from ..topology.torus import Coord, DIRECTIONS, Torus3D
 from .chip import ChipNetwork, GcEndpoint
 from .fabric import Link
 from .packet import CoreAddress, Packet, PacketKind, TrafficClass
@@ -28,7 +29,8 @@ class NetworkMachine:
     def __init__(self, dims: Sequence[int] = (2, 2, 2),
                  params: LatencyParams = DEFAULT_PARAMS,
                  chip_cols: int = 24, chip_rows: int = 12,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 routing: "str | RoutingPolicy" = DEFAULT_POLICY) -> None:
         self.sim = Simulator()
         self.torus = Torus3D(dims)
         self.params = params
@@ -39,6 +41,11 @@ class NetworkMachine:
         # draws from a derive_seed stream so results are stable across
         # processes (the PR-1 determinism convention).
         self.rng = random.Random(derive_seed(seed, "machine"))
+        # The request routing policy (repro.routing).  The default,
+        # randomized-minimal, reproduces the paper's Section III-B2
+        # scheme draw for draw.
+        self.routing = (routing if isinstance(routing, RoutingPolicy)
+                        else make_policy(routing, self.torus))
         self.chips: Dict[Coord, ChipNetwork] = {}
         for coord in self.torus.nodes():
             self.chips[coord] = ChipNetwork(
@@ -123,6 +130,24 @@ class NetworkMachine:
                 totals[tc] += count
         return totals
 
+    def plan_request_route(self, src_node: Coord, dst_node: Coord,
+                           rng: Optional[random.Random] = None,
+                           src_core: Optional[CoreAddress] = None) -> RoutePlan:
+        """The routing policy's plan for one request, drawn from ``rng``.
+
+        The machine's chips supply the local congestion probe adaptive
+        policies consult (outgoing-channel queue depth at the source);
+        ``src_core`` keys the per-source VC-class spread.
+        """
+        rng = rng or self.rng
+        return self.routing.make_plan(
+            self.torus.normalize(src_node), self.torus.normalize(dst_node),
+            rng, congestion=self._channel_congestion, source=src_core)
+
+    def _channel_congestion(self, node: Coord,
+                            direction: Tuple[int, int]) -> float:
+        return float(self.chips[node].channel_queue_packets(direction))
+
     def make_request(self, kind: PacketKind, src_node: Coord,
                      src_core: CoreAddress, dst_node: Coord,
                      dst_core: CoreAddress, quad_addr: int = 0,
@@ -131,21 +156,27 @@ class NetworkMachine:
                      accumulate: bool = False,
                      dim_order: Optional[Tuple[int, int, int]] = None,
                      slice_index: Optional[int] = None) -> Packet:
-        """Build a request packet with randomized minimal dimension order
-        and a random channel slice (oblivious routing, Section III-B2).
-        ``dim_order``/``slice_index`` pin the choices for experiments."""
+        """Build a request packet routed by the machine's policy, with a
+        random channel slice (oblivious load balance, Section III-B2).
+        ``dim_order`` pins a fixed single-phase minimal route (bypassing
+        the policy) and ``slice_index`` pins the slice, for experiments."""
+        plan: Optional[RoutePlan] = None
         if dim_order is None:
-            dim_order = self.rng.choice(DIMENSION_ORDERS)
+            plan = self.plan_request_route(src_node, dst_node, self.rng,
+                                           src_core=src_core)
+            dim_order = plan.phases[0].dim_order
         if slice_index is None:
             slice_index = self.rng.randrange(2)
-        return Packet(kind=kind, traffic_class=TrafficClass.REQUEST,
-                      src_node=self.torus.normalize(src_node),
-                      dst_node=self.torus.normalize(dst_node),
-                      src_core=src_core, dst_core=dst_core,
-                      num_flits=num_flits, payload_words=payload_words,
-                      dim_order=dim_order,
-                      slice_index=slice_index,
-                      quad_addr=quad_addr, accumulate=accumulate)
+        packet = Packet(kind=kind, traffic_class=TrafficClass.REQUEST,
+                        src_node=self.torus.normalize(src_node),
+                        dst_node=self.torus.normalize(dst_node),
+                        src_core=src_core, dst_core=dst_core,
+                        num_flits=num_flits, payload_words=payload_words,
+                        dim_order=dim_order,
+                        slice_index=slice_index,
+                        quad_addr=quad_addr, accumulate=accumulate)
+        packet.route = plan
+        return packet
 
     def send_counted_write(self, src_node: Coord, src_core: CoreAddress,
                            dst_node: Coord, dst_core: CoreAddress,
@@ -197,7 +228,7 @@ class NetworkMachine:
         total = 0
         for chip in self.chips.values():
             for ca in chip.channel_adapters.values():
-                link = ca._out.get("channel")
+                link = ca.output_or_none("channel")
                 if link is not None:
                     total += link.flits_sent
         return total

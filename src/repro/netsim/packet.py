@@ -3,10 +3,11 @@
 Anton 3 uses small, fixed-size packets of one or two flits; each flit is
 192 bits (a 64-bit header plus a 128-bit payload).  Packets belong to one
 of two traffic classes — requests and responses — which ride on disjoint
-virtual channels for protocol deadlock avoidance.  Request packets choose
-one of the six minimal dimension orders at injection time (oblivious
-randomized routing); response packets always follow XYZ order and treat
-the torus as a mesh.
+virtual channels for protocol deadlock avoidance.  Request packets fix
+their route at injection time through a routing policy
+(:mod:`repro.routing`; the default reproduces the paper's randomized
+minimal dimension orders); response packets always follow XYZ order and
+treat the torus as a mesh.
 
 The simulator forwards whole packets (virtual cut-through: a router begins
 forwarding as soon as the header arrives) and charges serialization time
@@ -86,6 +87,15 @@ class Packet:
     accumulate: bool = False
     pid: int = field(default_factory=lambda: next(_packet_ids))
 
+    # Routing state.  ``route`` is the RoutePlan a policy fixed at
+    # injection (repro.routing); packets built without one fall back to
+    # a single minimal phase over ``dim_order``.  ``route_axis`` and
+    # ``crossed_dateline`` are the per-ring dateline VC discipline,
+    # maintained hop by hop via repro.routing.note_hop.
+    route: Optional["object"] = None
+    route_axis: Optional[int] = None
+    crossed_dateline: bool = False
+
     # Bookkeeping.
     injected_ns: Optional[float] = None
     delivered_ns: Optional[float] = None
@@ -105,6 +115,17 @@ class Packet:
         return self.num_flits * FLIT_BITS
 
     @property
+    def vc_class(self) -> int:
+        """Request VC class of the packet's current routing phase.
+
+        Single-phase plans (and plan-less packets) ride class 0;
+        Valiant's second phase rides class 1.
+        """
+        if self.route is None:
+            return 0
+        return self.route.current.vc_class
+
+    @property
     def latency_ns(self) -> float:
         if self.injected_ns is None or self.delivered_ns is None:
             raise RuntimeError("packet has not completed its journey")
@@ -114,14 +135,21 @@ class Packet:
         self.hop_log.append(where)
 
 
-def request_vc(packet: Packet, crossed_dateline: bool) -> int:
+def request_vc(packet: Packet,
+               crossed_dateline: Optional[bool] = None) -> int:
     """Request-class VC assignment.
 
-    Four request VCs exist (Section III-B2).  We split them by channel
-    slice and dateline status — the standard torus deadlock-avoidance
-    scheme the paper's VC budget implies.
+    Four request VCs exist (Section III-B2).  We split them by routing
+    phase (VC class 0/1 — Valiant's two minimal phases ride disjoint
+    classes) and by dateline status within the phase — the standard
+    torus deadlock-avoidance scheme the paper's VC budget implies.  By
+    default the packet's own dateline state (maintained by
+    :func:`repro.routing.note_hop`) decides; passing ``crossed_dateline``
+    pins it for tests.
     """
-    return 2 * (packet.slice_index % 2) + (1 if crossed_dateline else 0)
+    if crossed_dateline is None:
+        crossed_dateline = packet.crossed_dateline
+    return 2 * packet.vc_class + (1 if crossed_dateline else 0)
 
 
 RESPONSE_VC = 4  # the single response-class VC (Section III-B2)

@@ -20,15 +20,22 @@ def build_machine(
     chip_cols: int = 24,
     chip_rows: int = 12,
     seed: int = 0,
+    routing: str = "randomized-minimal",
 ) -> NetworkMachine:
     """A fresh :class:`NetworkMachine` with its own simulator kernel.
 
     ``seed`` is the machine's root seed; per-chip RNG streams are
     derived from it with :func:`repro.engine.seeding.derive_seed`, so
     identical parameters rebuild an identical machine in any process.
+    ``routing`` names a registered policy (:mod:`repro.routing`); the
+    default is the paper's randomized minimal dimension-order scheme.
     """
     return NetworkMachine(
-        dims=tuple(dims), chip_cols=chip_cols, chip_rows=chip_rows, seed=seed
+        dims=tuple(dims),
+        chip_cols=chip_cols,
+        chip_rows=chip_rows,
+        seed=seed,
+        routing=routing,
     )
 
 

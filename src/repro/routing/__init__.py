@@ -1,0 +1,95 @@
+"""Pluggable inter-node routing policies for the Anton 3 torus.
+
+The paper credits randomized minimal dimension-order routing for the
+network's load balance (Section III-B2); this package makes that choice
+a policy object so the claim can be ablated.  A policy fixes each
+request packet's :class:`~repro.routing.policy.RoutePlan` at injection
+(one or more minimal dimension-order phases with their VC classes); the
+chips resolve the plan hop by hop through
+:func:`~repro.routing.policy.next_request_direction` and keep the
+torus dateline VC discipline via :func:`~repro.routing.policy.note_hop`.
+Response packets are untouched: they stay forced-XYZ, mesh-restricted,
+on the dedicated response VC.
+
+Policies:
+
+* ``fixed-xyz`` — deterministic XYZ order, the classic DOR baseline.
+* ``randomized-minimal`` — the paper's scheme and the default: one of
+  the six orders uniformly at random per packet.
+* ``valiant`` — non-minimal: two minimal phases via a uniformly random
+  intermediate node, on disjoint VC classes.
+* ``adaptive-lite`` — the least-congested minimal order at injection,
+  judged from local channel occupancy; ties break randomly.
+
+Quick use::
+
+    from repro.netsim import NetworkMachine
+
+    machine = NetworkMachine(dims=(4, 1, 1), routing="valiant")
+
+or, for the latency-load ablation curves::
+
+    repro-runner sweep route-ablation-valiant route-ablation-fixed-xyz
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..topology.torus import Torus3D
+from .adaptive import AdaptiveLitePolicy
+from .oblivious import FixedXYZPolicy, RandomizedMinimalPolicy
+from .policy import (
+    CongestionProbe,
+    RouteHop,
+    RoutePhase,
+    RoutePlan,
+    RoutingPolicy,
+    next_request_direction,
+    note_hop,
+    source_vc_class,
+    trace_route,
+)
+from .valiant import ValiantPolicy
+
+__all__ = [
+    "AdaptiveLitePolicy",
+    "CongestionProbe",
+    "DEFAULT_POLICY",
+    "FixedXYZPolicy",
+    "POLICY_NAMES",
+    "RandomizedMinimalPolicy",
+    "RouteHop",
+    "RoutePhase",
+    "RoutePlan",
+    "RoutingPolicy",
+    "ValiantPolicy",
+    "make_policy",
+    "next_request_direction",
+    "note_hop",
+    "source_vc_class",
+    "trace_route",
+]
+
+#: Registry of policy classes by CLI/experiment name.
+_FACTORIES = {
+    FixedXYZPolicy.name: FixedXYZPolicy,
+    RandomizedMinimalPolicy.name: RandomizedMinimalPolicy,
+    ValiantPolicy.name: ValiantPolicy,
+    AdaptiveLitePolicy.name: AdaptiveLitePolicy,
+}
+
+POLICY_NAMES: Tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+DEFAULT_POLICY = RandomizedMinimalPolicy.name
+
+
+def make_policy(name: str, torus: Torus3D) -> RoutingPolicy:
+    """Construct a registered routing policy by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(POLICY_NAMES)
+        raise KeyError(f"unknown routing policy {name!r}; "
+                       f"known: {known}") from None
+    return factory(torus)

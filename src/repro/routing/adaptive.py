@@ -1,0 +1,70 @@
+"""Adaptive-lite: minimal routing steered by local congestion at injection.
+
+A full adaptive router re-evaluates direction at every hop; Anton 3's
+hardware deliberately does not (Section III-B2 argues randomized
+oblivious routing balances load without the deadlock and ordering
+complications of adaptivity).  ``adaptive-lite`` explores the midpoint:
+the packet still commits to one minimal dimension order at injection —
+so deadlock safety is identical to ``randomized-minimal`` (a minimal DOR
+route with dateline VCs) — but the order is chosen by looking at the
+source node's local channel state instead of uniformly at random.
+
+Concretely, every candidate order is scored by the occupancy of the
+outgoing channel its *first hop* would use (queued packets at the source
+chip's channel adapters, both slices); the least-congested first hop
+wins, and ties — the common case on an idle machine — are broken
+uniformly at random so the policy degrades gracefully to randomized
+minimal under zero load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..topology.torus import DIMENSION_ORDERS, Coord
+from .policy import (
+    CongestionProbe,
+    RoutePhase,
+    RoutePlan,
+    RoutingPolicy,
+    source_vc_class,
+)
+
+__all__ = ["AdaptiveLitePolicy"]
+
+
+class AdaptiveLitePolicy(RoutingPolicy):
+    """Least-congested-first-hop minimal order, chosen at injection."""
+
+    name = "adaptive-lite"
+
+    def make_plan(self, src: Coord, dst: Coord, rng: random.Random,
+                  congestion: Optional[CongestionProbe] = None,
+                  source=None) -> RoutePlan:
+        torus = self.torus
+        src = torus.normalize(src)
+        dst = torus.normalize(dst)
+        offsets = torus.offsets(src, dst)
+        best: List[Tuple[int, int, int]] = []
+        best_score: Optional[float] = None
+        for order in DIMENSION_ORDERS:
+            direction = None
+            for axis in order:
+                if offsets[axis]:
+                    direction = (axis, 1 if offsets[axis] > 0 else -1)
+                    break
+            score = (float(congestion(src, direction))
+                     if congestion is not None and direction is not None
+                     else 0.0)
+            if best_score is None or score < best_score:
+                best, best_score = [order], score
+            elif score == best_score:
+                best.append(order)
+        # Ties break over *orders*, not first-hop directions, so equal
+        # congestion reproduces the randomized-minimal distribution —
+        # including its per-source VC-class spread.
+        order = best[rng.randrange(len(best))]
+        return RoutePlan(policy=self.name, phases=(
+            RoutePhase(target=dst, dim_order=order,
+                       vc_class=source_vc_class(source)),))

@@ -19,7 +19,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .experiment import Sweep, get_experiment, list_experiments
@@ -91,21 +91,23 @@ def _progress(message: str) -> None:
 def _load_sweep_report(results: Sequence[SweepResult]) -> None:
     """Print latency-vs-load tables with saturation points (stderr).
 
-    Only applies to ``load_sweep`` sweeps; stdout stays byte-stable for
-    a given grid regardless.
+    Only applies to ``load_sweep``/``route_ablation`` sweeps; stdout
+    stays byte-stable for a given grid regardless.  Runs are grouped by
+    ``(pattern, routing)``, so ablation sweeps that mix adversarial
+    patterns on purpose render one table per curve.
     """
-    from ..analysis.saturation import load_sweep_table
+    from ..analysis.saturation import load_sweep_tables
 
     for result in results:
-        if result.experiment != "load_sweep":
+        if result.experiment not in ("load_sweep", "route_ablation"):
             continue
         try:
-            table = load_sweep_table(
+            tables = load_sweep_tables(
                 [run.record() for run in result.runs], title=result.label
             )
         except ValueError:
-            continue  # e.g. a custom grid mixing several patterns
-        print(table, file=sys.stderr)
+            continue  # e.g. a grid whose points all failed to complete
+        print(tables, file=sys.stderr)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -191,6 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize result column VALUE with count/mean/max/p50/p95/p99 "
         "(e.g. offered_load:classes.request.latency_ns.mean)",
     )
+    report_parser.add_argument(
+        "--plot",
+        metavar="X:Y",
+        default=None,
+        help="also render an ASCII chart of result/parameter column Y vs "
+        "X to stderr (e.g. "
+        "offered_load:classes.request.latency_ns.mean for the "
+        "latency-load curve)",
+    )
+    report_parser.add_argument(
+        "--plot-by",
+        metavar="KEY[,KEY...]",
+        default=None,
+        help="split --plot into one series per distinct value of these "
+        "comma-separated columns (e.g. pattern,routing)",
+    )
     return parser
 
 
@@ -214,6 +232,9 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.experiment)
     overrides = _parse_set(args.assignments)
+    # Fail fast on --set typos: an unknown key would otherwise vanish
+    # into the experiment wrapper's **params (or crash a worker).
+    experiment.validate_params(overrides)
     grid = ParameterGrid({key: [value] for key, value in overrides.items()})
     sweep = Sweep(experiment.name, grid, label=f"run-{experiment.name}")
     cache = _open_cache(args)
@@ -271,6 +292,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         sweeps_to_csv,
     )
 
+    # Validate the plot spec up front so a typo cannot emit the full
+    # tables to stdout before failing (a partial-success state for
+    # pipelines capturing stdout).
+    plot_columns = _parse_plot_spec(args.plot) if args.plot is not None else None
     if args.input:
         text = (
             sys.stdin.read()
@@ -307,7 +332,44 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for sweep in sweeps:
             print(sweep_table(sweep["runs"], title=str(sweep.get("label", ""))))
             print()
+    if plot_columns is not None:
+        _render_plots(sweeps, plot_columns, args.plot_by)
     return 0
+
+
+def _parse_plot_spec(plot: str) -> Tuple[str, str]:
+    x, sep, y = plot.partition(":")
+    if not sep or not x or not y:
+        raise ValueError(f"--plot expects X:Y column names, got {plot!r}")
+    return x, y
+
+
+def _render_plots(
+    sweeps: Sequence[Dict[str, object]],
+    plot_columns: Tuple[str, str],
+    plot_by: Optional[str],
+) -> None:
+    """ASCII-chart one sweep column pair per sweep, to stderr.
+
+    Keeps stdout machine-consumable: tables/CSV stay the primary output
+    and the chart rides alongside on the diagnostic stream.
+    """
+    from ..analysis.plot import ascii_chart, series_from_runs
+
+    x, y = plot_columns
+    by = tuple(key for key in (plot_by or "").split(",") if key)
+    for sweep in sweeps:
+        label = str(sweep.get("label", ""))
+        series = series_from_runs(sweep["runs"], x, y, by=by)
+        if not series:
+            print(
+                f"{label or 'sweep'}: no plottable points for {x} vs {y}",
+                file=sys.stderr,
+            )
+            continue
+        chart = ascii_chart(series, x_label=x, y_label=y, title=label)
+        print(chart, file=sys.stderr)
+        print(file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

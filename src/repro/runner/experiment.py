@@ -10,7 +10,7 @@ experiments by name through the module-level registry, so only the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from .grid import ParameterGrid
 
@@ -24,7 +24,10 @@ class Experiment:
     ``fn`` must be picklable by reference (a module-level function) and
     must not depend on process-local state: the runner may execute it in
     a worker process.  Bump ``version`` when ``fn``'s semantics change
-    so stale cache entries stop matching.
+    so stale cache entries stop matching.  ``param_names`` declares the
+    parameter names ``fn`` accepts (the built-in wrappers hide their
+    surface's signature behind ``**params``) so overrides can be
+    validated up front; ``None`` disables validation.
     """
 
     name: str
@@ -33,10 +36,30 @@ class Experiment:
     description: str = ""
     version: int = 1
     smoke_grid: Optional[ParameterGrid] = None
+    param_names: Optional[Tuple[str, ...]] = None
 
     def run(self, params: Mapping[str, object]) -> dict:
         """Execute one configuration."""
         return self.fn(**dict(params))
+
+    def validate_params(self, params: Mapping[str, object]) -> None:
+        """Reject parameter names ``fn`` does not accept.
+
+        A no-op when the experiment declares no ``param_names`` (custom
+        registrations); otherwise raises ``ValueError`` naming both the
+        unknown and the accepted parameters, so a typo in ``--set``
+        fails loudly instead of dying deep inside a worker (or, worse,
+        being silently swallowed by a ``**params`` wrapper).
+        """
+        if self.param_names is None:
+            return
+        unknown = sorted(set(params) - set(self.param_names))
+        if unknown:
+            known = ", ".join(sorted(self.param_names))
+            raise ValueError(
+                f"experiment {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {known}"
+            )
 
 
 @dataclass(frozen=True)

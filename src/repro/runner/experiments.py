@@ -81,6 +81,15 @@ register(
         smoke_grid=FIG5_SMOKE_GRID,
         description="One-way end-to-end latency vs inter-node hops (Figure 5)",
         version=2,  # v2: results gained per-hop percentile summaries
+        param_names=(
+            "dims",
+            "chip_cols",
+            "chip_rows",
+            "machine_seed",
+            "harness_seed",
+            "max_hops",
+            "samples_per_hop",
+        ),
     )
 )
 
@@ -100,6 +109,14 @@ register(
             }
         ),
         description="Best-placement minimum single-hop latency (~55 ns)",
+        param_names=(
+            "dims",
+            "chip_cols",
+            "chip_rows",
+            "machine_seed",
+            "harness_seed",
+            "samples",
+        ),
     )
 )
 
@@ -126,6 +143,17 @@ register(
         grid=FIG11_GRID,
         smoke_grid=FIG11_SMOKE_GRID,
         description="Network-fence barrier latency vs hop count (Figure 11)",
+        param_names=(
+            "dims",
+            "chip_cols",
+            "chip_rows",
+            "seed",
+            "hops",
+            "max_hops",
+            "pattern",
+            "request_vcs",
+            "slices",
+        ),
     )
 )
 
@@ -146,6 +174,13 @@ register(
         grid=FIG9_GRID,
         smoke_grid=FIG9_SMOKE_GRID,
         description="Water-box traffic reduction and speedup (Figures 9a/9b)",
+        param_names=(
+            "n_atoms",
+            "steps",
+            "seed",
+            "node_dims",
+            "pcache_warmup_steps",
+        ),
     )
 )
 
@@ -163,17 +198,23 @@ LOAD_SWEEP_PATTERNS = (
     "uniform",
     "transpose",
     "bit-complement",
+    "tornado",
     "neighbor",
     "halo",
     "hotspot",
     "all-to-all",
 )
 
+#: Tornado needs an X ring of >= 3 nodes to be non-degenerate; an 8-ring
+#: puts the half-way offset at 3 hops, the classic worst case for
+#: minimal routing (same node count as the 2x2x2 default).
+TORNADO_DIMS = (8, 1, 1)
+
 
 def _load_sweep_grid(pattern: str) -> ParameterGrid:
     return ParameterGrid(
         {
-            "dims": [(2, 2, 2)],
+            "dims": [TORNADO_DIMS if pattern == "tornado" else (2, 2, 2)],
             "chip_cols": 6,
             "chip_rows": 6,
             "pattern": pattern,
@@ -200,6 +241,25 @@ LOAD_SWEEP_SMOKE_GRID = ParameterGrid(
     }
 )
 
+#: Parameter names measure_load_point accepts; shared by the load-sweep
+#: and route-ablation experiments for ``run --set`` validation.
+LOAD_POINT_PARAMS = (
+    "dims",
+    "chip_cols",
+    "chip_rows",
+    "pattern",
+    "routing",
+    "offered_load",
+    "machine_seed",
+    "traffic_seed",
+    "process",
+    "read_fraction",
+    "warmup_ns",
+    "measure_ns",
+    "drain_ns",
+    "hotspot_fraction",
+)
+
 register(
     Experiment(
         name="load_sweep",
@@ -208,6 +268,8 @@ register(
         smoke_grid=LOAD_SWEEP_SMOKE_GRID,
         description="Open-loop synthetic-traffic load point "
         "(latency vs offered load)",
+        version=2,  # v2: routing-policy VC discipline + routing field
+        param_names=LOAD_POINT_PARAMS,
     )
 )
 
@@ -216,6 +278,85 @@ LOAD_SWEEPS = {
         "load_sweep", _load_sweep_grid(pattern), label=f"load-sweep-{pattern}"
     )
     for pattern in LOAD_SWEEP_PATTERNS
+}
+
+# ---------------------------------------------------------------------------
+# Routing ablations: the adversarial patterns under each routing policy.
+# ---------------------------------------------------------------------------
+
+#: Policies that get a registered ``route-ablation-<policy>`` sweep.
+ROUTE_ABLATION_POLICIES = (
+    "fixed-xyz",
+    "randomized-minimal",
+    "valiant",
+    "adaptive-lite",
+)
+
+#: The PR-2 adversarial patterns each ablation drives to saturation.
+ROUTE_ABLATION_PATTERNS = ("transpose", "bit-complement", "hotspot", "tornado")
+
+ROUTE_ABLATION_LOADS = [0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0]
+
+
+def _route_ablation_grid(policy: str) -> ParameterGrid:
+    """One policy's ablation: every adversarial pattern over the load axis.
+
+    A union grid (one subgrid per pattern) because tornado needs its
+    own torus shape; the report groups the curves by (pattern, routing).
+    """
+    return ParameterGrid(
+        [
+            {
+                "dims": [TORNADO_DIMS if pattern == "tornado" else (2, 2, 2)],
+                "chip_cols": 6,
+                "chip_rows": 6,
+                "pattern": pattern,
+                "routing": policy,
+                "offered_load": list(ROUTE_ABLATION_LOADS),
+                "machine_seed": 7,
+                "traffic_seed": 11,
+                "warmup_ns": 400.0,
+                "measure_ns": 1600.0,
+            }
+            for pattern in ROUTE_ABLATION_PATTERNS
+        ]
+    )
+
+
+ROUTE_ABLATION_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "uniform",
+        "routing": ["randomized-minimal", "valiant"],
+        "offered_load": [0.05, 0.2, 0.4],
+        "machine_seed": 7,
+        "traffic_seed": 11,
+        "warmup_ns": 200.0,
+        "measure_ns": 600.0,
+    }
+)
+
+register(
+    Experiment(
+        name="route_ablation",
+        fn=_load_point,
+        grid=_route_ablation_grid("randomized-minimal"),
+        smoke_grid=ROUTE_ABLATION_SMOKE_GRID,
+        description="Open-loop load point under a chosen routing policy "
+        "(routing ablations)",
+        param_names=LOAD_POINT_PARAMS,
+    )
+)
+
+ROUTE_ABLATIONS = {
+    f"route-ablation-{policy}": Sweep(
+        "route_ablation",
+        _route_ablation_grid(policy),
+        label=f"route-ablation-{policy}",
+    )
+    for policy in ROUTE_ABLATION_POLICIES
 }
 
 # ---------------------------------------------------------------------------
@@ -269,6 +410,7 @@ BUILTIN_SWEEPS = {
         SCALING_512_FENCE_SWEEP,
         SCALING_512_LATENCY_SWEEP,
         *LOAD_SWEEPS.values(),
+        *ROUTE_ABLATIONS.values(),
     )
 }
 

@@ -136,6 +136,21 @@ class Torus3D:
         b = self.normalize(b)
         return sum(abs(self.axis_offset(a[i], b[i], i)) for i in range(3))
 
+    def mesh_hops(self, a: Coord, b: Coord) -> int:
+        """Hop distance with wraparound links forbidden (response routes)."""
+        a = self.normalize(a)
+        b = self.normalize(b)
+        return sum(abs(b[i] - a[i]) for i in range(3))
+
+    def is_wrap_hop(self, coord: Coord, axis: int, sign: int) -> bool:
+        """Whether one hop from ``coord`` in ``(axis, sign)`` crosses the
+        wraparound link of its ring — the dateline of the VC discipline."""
+        if axis not in (0, 1, 2) or sign not in (-1, 1):
+            raise ValueError(f"bad direction ({axis}, {sign})")
+        c = self.normalize(coord)[axis]
+        size = self.dims.as_tuple()[axis]
+        return (c == size - 1 and sign > 0) or (c == 0 and sign < 0)
+
     def offsets(self, src: Coord, dst: Coord) -> Coord:
         src = self.normalize(src)
         dst = self.normalize(dst)

@@ -31,6 +31,7 @@ from .patterns import (
     HotspotPattern,
     NeighborExchangePattern,
     PermutationPattern,
+    TornadoPattern,
     TrafficPattern,
     TransposePattern,
     UniformRandomPattern,
@@ -50,6 +51,7 @@ __all__ = [
     "HotspotPattern",
     "NeighborExchangePattern",
     "PermutationPattern",
+    "TornadoPattern",
     "TrafficPattern",
     "TransposePattern",
     "UniformRandomPattern",

@@ -30,7 +30,7 @@ from ..analysis.aggregate import summarize_values
 from ..engine.seeding import derive_seed
 from ..netsim.machine import NetworkMachine
 from ..netsim.packet import Packet, PacketKind, TrafficClass
-from ..topology.torus import DIMENSION_ORDERS, Coord
+from ..topology.torus import Coord
 from .injection import InjectionProcess, offered_load_to_rate
 from .patterns import TrafficPattern
 
@@ -64,6 +64,7 @@ class OpenLoopResult:
     """One load point: offered vs accepted load and per-class latency."""
 
     pattern: str
+    routing: str
     offered_load: float
     process: str
     seed: int
@@ -87,6 +88,7 @@ class OpenLoopResult:
     def to_dict(self) -> Dict[str, object]:
         return {
             "pattern": self.pattern,
+            "routing": self.routing,
             "offered_load": self.offered_load,
             "process": self.process,
             "seed": self.seed,
@@ -160,6 +162,10 @@ class OpenLoopHarness:
         is_read = (self.read_fraction > 0.0
                    and rng.random() < self.read_fraction)
         kind = PacketKind.READ_REQUEST if is_read else PacketKind.COUNTED_WRITE
+        # Route choice is delegated to the machine's routing policy; the
+        # draws come from this source's pick stream so sweeps stay
+        # deterministic across processes.
+        plan = machine.plan_request_route(node, dst, rng, src_core=src_core)
         packet = Packet(
             kind=kind,
             traffic_class=TrafficClass.REQUEST,
@@ -169,10 +175,11 @@ class OpenLoopHarness:
             dst_core=dst_core,
             num_flits=1,
             payload_words=(1,) if is_read else (1, 0, 0, 0),
-            dim_order=DIMENSION_ORDERS[rng.randrange(len(DIMENSION_ORDERS))],
+            dim_order=plan.phases[0].dim_order,
             slice_index=rng.randrange(2),
             quad_addr=0,
             accumulate=self.pattern.accumulate and not is_read)
+        packet.route = plan
         machine.inject(packet)
         if self._in_window(machine.sim.now):
             stats = self._class_stats(TrafficClass.REQUEST)
@@ -239,6 +246,7 @@ class OpenLoopHarness:
         in_flight = request.injected_packets - request.delivered_packets
         return OpenLoopResult(
             pattern=self.pattern.name,
+            routing=machine.routing.name,
             offered_load=self.offered_load,
             process=self.process,
             seed=self.seed,

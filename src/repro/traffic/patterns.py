@@ -11,6 +11,12 @@ them over the Anton 3 node torus:
   ranks), the classic adversary for dimension-order routing.
 * ``bit-complement`` — per-axis coordinate complement
   ``c -> dim - 1 - c``, maximizing average distance.
+* ``tornado`` — the half-way ring offset ``(x + ceil(X/2) - 1, y, z)``:
+  every node sends nearly half-way around the X ring in the same
+  rotational direction, so minimal routing loads only one direction of
+  the ring while the other sits idle — the canonical pattern where
+  minimal dimension-order routing collapses and Valiant's non-minimal
+  spreading wins.
 * ``neighbor`` — 3D nearest-neighbor exchange with the six face
   neighbors, the communication skeleton of a halo exchange.
 * ``halo`` — the full MD halo exchange *matched to the domain
@@ -44,6 +50,7 @@ __all__ = [
     "PermutationPattern",
     "TransposePattern",
     "BitComplementPattern",
+    "TornadoPattern",
     "NeighborExchangePattern",
     "HotspotPattern",
     "AllToAllReductionPattern",
@@ -132,6 +139,25 @@ class BitComplementPattern(PermutationPattern):
         coord = self.torus.normalize(src)
         dims = self.torus.dims.as_tuple()
         return tuple(d - 1 - c for c, d in zip(coord, dims))  # type: ignore[return-value]
+
+
+class TornadoPattern(PermutationPattern):
+    """Half-way X-ring offset: ``(x, y, z) -> (x + ceil(X/2) - 1, y, z)``.
+
+    The offset is the same for every node, so all traffic circulates the
+    X rings in one rotational direction; with the tie-break convention
+    (half-way offsets go positive) minimal routing never uses the X-
+    links and saturates at ``1 / offset`` of channel capacity.  Needs
+    ``X >= 3`` to be non-degenerate: on smaller rings the offset is zero
+    and no node sends (``sends_from`` is false everywhere).
+    """
+
+    name = "tornado"
+
+    def permutation(self, src: Coord) -> Coord:
+        x, y, z = self.torus.normalize(src)
+        dx = self.torus.dims.x
+        return ((x + math.ceil(dx / 2) - 1) % dx, y, z)
 
 
 class NeighborExchangePattern(TrafficPattern):
@@ -275,6 +301,7 @@ _FACTORIES = {
     "uniform": lambda torus, **kw: UniformRandomPattern(torus),
     "transpose": lambda torus, **kw: TransposePattern(torus),
     "bit-complement": lambda torus, **kw: BitComplementPattern(torus),
+    "tornado": lambda torus, **kw: TornadoPattern(torus),
     "neighbor": lambda torus, **kw: NeighborExchangePattern(torus),
     "halo": lambda torus, **kw: NeighborExchangePattern(
         torus, diagonals=True),

@@ -23,6 +23,7 @@ def measure_load_point(
     chip_cols: int = 6,
     chip_rows: int = 6,
     pattern: str = "uniform",
+    routing: str = "randomized-minimal",
     offered_load: float = 0.1,
     machine_seed: int = 0,
     traffic_seed: int = 0,
@@ -35,11 +36,14 @@ def measure_load_point(
 ) -> dict:
     """One open-loop load point on a fresh machine.
 
-    Returns the :meth:`~repro.traffic.openloop.OpenLoopResult.to_dict`
-    record: offered vs accepted load plus per-traffic-class latency
-    percentiles for the measure window.
+    ``routing`` names a registered policy (:mod:`repro.routing`) so the
+    same load axis can be swept per policy (the ``route-ablation-*``
+    sweeps).  Returns the
+    :meth:`~repro.traffic.openloop.OpenLoopResult.to_dict` record:
+    offered vs accepted load plus per-traffic-class latency percentiles
+    for the measure window.
     """
-    machine = build_machine(dims, chip_cols, chip_rows, machine_seed)
+    machine = build_machine(dims, chip_cols, chip_rows, machine_seed, routing=routing)
     traffic = make_pattern(pattern, machine.torus, fraction=hotspot_fraction)
     harness = OpenLoopHarness(
         machine,

@@ -62,12 +62,25 @@ class TestTrafficClasses:
 
 class TestVcAssignment:
     def test_four_request_vcs(self):
+        """VC class (routing phase) x dateline spans the four request VCs."""
+        from repro.routing import RoutePhase, RoutePlan
+
         vcs = set()
-        for slice_index in (0, 1):
+        for vc_class in (0, 1):
+            packet = make_packet()
+            packet.route = RoutePlan(policy="test", phases=(
+                RoutePhase(target=(0, 0, 0), dim_order=(0, 1, 2)),
+                RoutePhase(target=(1, 1, 1), dim_order=(0, 1, 2),
+                           vc_class=1)), phase_index=vc_class)
             for dateline in (False, True):
-                packet = make_packet(slice_index=slice_index)
                 vcs.add(request_vc(packet, dateline))
         assert vcs == {0, 1, 2, 3}
+
+    def test_dateline_state_drives_default_vc(self):
+        packet = make_packet()
+        assert request_vc(packet) == 0
+        packet.crossed_dateline = True
+        assert request_vc(packet) == 1
 
     def test_response_vc_is_fifth(self):
         assert RESPONSE_VC == 4

@@ -1,0 +1,293 @@
+"""Routing-subsystem invariants (repro.routing).
+
+Offline route traces (no simulator) pin the structural guarantees every
+policy must keep — cycle-free routes of the expected length, the
+dateline/VC discipline on wrap links — and end-to-end machine runs pin
+the integration invariants: delivery under every policy, and responses
+forced to mesh-restricted XYZ regardless of the request policy.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import CoreAddress, NetworkMachine, PacketKind, TrafficClass
+from repro.netsim.packet import Packet, request_vc
+from repro.routing import (
+    DEFAULT_POLICY,
+    POLICY_NAMES,
+    RoutePhase,
+    RoutePlan,
+    RoutingPolicy,
+    make_policy,
+    next_request_direction,
+    source_vc_class,
+    trace_route,
+)
+from repro.topology.torus import Torus3D
+
+DIMS = (4, 3, 2)
+
+
+def request_packet(src, dst, plan=None, dim_order=(0, 1, 2)):
+    packet = Packet(
+        kind=PacketKind.COUNTED_WRITE, traffic_class=TrafficClass.REQUEST,
+        src_node=src, dst_node=dst, src_core=CoreAddress(0, 0, 0),
+        dst_core=CoreAddress(0, 0, 0), dim_order=dim_order)
+    packet.route = plan
+    return packet
+
+
+def trace(policy, torus, src, dst, rng, source=None):
+    plan = policy.make_plan(src, dst, rng, source=source)
+    hops, final = trace_route(request_packet(src, dst, plan), torus)
+    return plan, hops, final
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus3D(DIMS)
+
+
+class TestRegistry:
+    def test_all_policies_construct(self, torus):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, torus)
+            assert isinstance(policy, RoutingPolicy)
+            assert policy.name == name
+
+    def test_unknown_policy_raises(self, torus):
+        with pytest.raises(KeyError, match="unknown routing policy"):
+            make_policy("typo-policy", torus)
+
+    def test_default_is_the_papers_scheme(self):
+        assert DEFAULT_POLICY == "randomized-minimal"
+
+
+class TestRouteShape:
+    """Every policy: cycle-free routes of the expected length."""
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_terminates_at_destination_without_cycles(self, torus, name):
+        policy = make_policy(name, torus)
+        rng = random.Random(7)
+        for src in torus.nodes():
+            for dst in torus.nodes():
+                plan, hops, final = trace(policy, torus, src, dst, rng)
+                assert final == torus.normalize(dst)
+                # Cycle-free: a (node, phase) pair never repeats.
+                visited = [(hop.coord, hop.phase) for hop in hops]
+                assert len(visited) == len(set(visited))
+
+    @pytest.mark.parametrize("name",
+                             ["fixed-xyz", "randomized-minimal",
+                              "adaptive-lite"])
+    def test_minimal_policies_take_minimal_routes(self, torus, name):
+        policy = make_policy(name, torus)
+        rng = random.Random(11)
+        for src in torus.nodes():
+            for dst in torus.nodes():
+                __, hops, __unused = trace(policy, torus, src, dst, rng)
+                # Exactly the sum of per-axis wrap distances, never more.
+                assert len(hops) == torus.min_hops(src, dst)
+
+    def test_valiant_is_two_minimal_phases(self, torus):
+        policy = make_policy("valiant", torus)
+        rng = random.Random(13)
+        for src in torus.nodes():
+            for dst in torus.nodes():
+                plan, hops, __ = trace(policy, torus, src, dst, rng)
+                mid = plan.phases[0].target
+                expected = (torus.min_hops(src, mid)
+                            + torus.min_hops(mid, dst))
+                assert len(hops) == expected
+                # Phase hops ride their own VC classes: 0/1 then 2/3.
+                for hop in hops:
+                    assert hop.vc in ((0, 1) if hop.phase == 0 else (2, 3))
+
+
+class TestVcDiscipline:
+    """Dateline/VC rules on wrap links, traced hop by hop."""
+
+    def test_wrap_hop_switches_to_dateline_vc(self):
+        ring = Torus3D((5, 1, 1))
+        policy = make_policy("fixed-xyz", ring)
+        # (3,0,0) -> (0,0,0) is +2: the second hop (4 -> 0) wraps.
+        __, hops, __unused = trace(policy, ring, (3, 0, 0), (0, 0, 0),
+                                   random.Random(1))
+        assert [hop.direction for hop in hops] == [(0, 1), (0, 1)]
+        assert [hop.vc for hop in hops] == [0, 1]
+
+    def test_post_wrap_hops_stay_on_dateline_vc(self):
+        ring = Torus3D((7, 1, 1))
+        policy = make_policy("fixed-xyz", ring)
+        # (5,0,0) -> (1,0,0) is +3: wrap on the 6 -> 0 hop, then onward.
+        __, hops, __unused = trace(policy, ring, (5, 0, 0), (1, 0, 0),
+                                   random.Random(1))
+        assert [hop.vc for hop in hops] == [0, 1, 1]
+
+    def test_axis_change_resets_the_dateline(self):
+        torus = Torus3D((4, 4, 1))
+        policy = make_policy("fixed-xyz", torus)
+        # X leg (3 -> 0 -> 1) wraps immediately; the Y leg (1 -> 2) is a
+        # fresh ring, so its hop drops back to the non-dateline VC.
+        __, hops, __unused = trace(policy, torus, (3, 1, 0), (1, 2, 0),
+                                   random.Random(1))
+        assert [hop.vc for hop in hops] == [1, 1, 0]
+
+    def test_source_vc_class_spreads_but_stays_per_source(self):
+        classes = {source_vc_class(CoreAddress(u, v, w))
+                   for u in range(4) for v in range(4) for w in (0, 1)}
+        assert classes == {0, 1}
+        address = CoreAddress(2, 3, 1)
+        assert (source_vc_class(address)
+                == source_vc_class(CoreAddress(2, 3, 1)))
+        assert source_vc_class(None) == 0
+
+    def test_planless_packets_follow_dim_order_minimally(self, torus):
+        packet = request_packet((0, 0, 0), (1, 1, 1), dim_order=(2, 0, 1))
+        hops, final = trace_route(packet, torus)
+        assert final == (1, 1, 1)
+        assert [hop.direction[0] for hop in hops] == [2, 0, 1]
+        assert request_vc(packet, False) == 0  # legacy packets: class 0
+
+    def test_cycle_detection_guards_bad_plans(self, torus):
+        # A plan whose phase target is unreachable minimally can't exist,
+        # but a corrupted dim_order is caught by the walker's hop limit.
+        plan = RoutePlan(policy="test", phases=(
+            RoutePhase(target=(1, 0, 0), dim_order=(0, 1, 2)),))
+        packet = request_packet((0, 0, 0), (1, 0, 0), plan)
+        hops, final = trace_route(packet, torus)
+        assert final == (1, 0, 0) and len(hops) == 1
+
+
+class TestAdaptiveLite:
+    def test_avoids_congested_first_hop(self, torus):
+        policy = make_policy("adaptive-lite", torus)
+        # Make every X first hop look congested; Y/Z first hops are free.
+        def congestion(node, direction):
+            return 9.0 if direction[0] == 0 else 0.0
+        rng = random.Random(3)
+        for __ in range(20):
+            plan = policy.make_plan((0, 0, 0), (1, 1, 1), rng,
+                                    congestion=congestion)
+            assert plan.phases[0].dim_order[0] != 0
+
+    def test_degrades_to_randomized_when_uncongested(self, torus):
+        policy = make_policy("adaptive-lite", torus)
+        rng = random.Random(5)
+        orders = {policy.make_plan((0, 0, 0), (1, 1, 1), rng,
+                                   congestion=lambda n, d: 0.0
+                                   ).phases[0].dim_order
+                  for __ in range(60)}
+        assert len(orders) == 6  # all six orders remain in play
+
+    def test_machine_probe_reports_queued_channel_packets(self):
+        machine = NetworkMachine(dims=(2, 1, 1), chip_cols=6, chip_rows=6,
+                                 seed=3, routing="adaptive-lite")
+        assert machine._channel_congestion((0, 0, 0), (0, 1)) == 0.0
+
+
+class TestMachineIntegration:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_counted_writes_deliver_under_every_policy(self, name):
+        machine = NetworkMachine(dims=(3, 2, 2), chip_cols=6, chip_rows=6,
+                                 seed=9, routing=name)
+        for dst_node in [(1, 0, 0), (2, 1, 1), (0, 1, 1)]:
+            packet = machine.send_counted_write(
+                (0, 0, 0), CoreAddress(0, 0, 0), dst_node,
+                CoreAddress(2, 2, 0), quad_addr=4, words=(1, 2, 3, 4))
+            machine.sim.run()
+            assert packet.delivered_ns is not None
+            assert machine.gc(dst_node,
+                              CoreAddress(2, 2, 0)).sram.read(4) == [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_responses_take_mesh_xyz_regardless_of_policy(self, name):
+        machine = NetworkMachine(dims=(3, 2, 2), chip_cols=6, chip_rows=6,
+                                 seed=9, routing=name)
+        src_node, dst_node = (0, 0, 0), (2, 1, 1)
+        src_core, dst_core = CoreAddress(0, 0, 0), CoreAddress(1, 1, 0)
+        machine.gc(dst_node, dst_core).sram.counted_write(3, [7, 7, 7, 7])
+        machine.send_remote_read(src_node, src_core, dst_node, dst_core,
+                                 quad_addr=3, reply_quad=5)
+        machine.sim.run()
+        responses = [p for p in machine.gc(src_node, src_core).delivered
+                     if p.kind is PacketKind.READ_RESPONSE]
+        assert len(responses) == 1
+        response = responses[0]
+        assert response.traffic_class is TrafficClass.RESPONSE
+        assert response.dim_order == (0, 1, 2)
+        assert response.route is None  # never policy-routed
+        # Mesh restriction: hop count is the no-wrap XYZ distance, which
+        # on this pair (offset -2 on X minimally) exceeds min_hops.
+        assert response.torus_hops_taken == machine.torus.mesh_hops(
+            dst_node, src_node)
+        assert machine.torus.mesh_hops(dst_node, src_node) > \
+            machine.torus.min_hops(dst_node, src_node)
+
+    def test_valiant_requests_carry_two_phase_plans(self):
+        machine = NetworkMachine(dims=(2, 2, 2), chip_cols=6, chip_rows=6,
+                                 seed=9, routing="valiant")
+        packet = machine.make_request(
+            PacketKind.COUNTED_WRITE, (0, 0, 0), CoreAddress(0, 0, 0),
+            (1, 1, 1), CoreAddress(0, 0, 0))
+        assert packet.route is not None
+        assert len(packet.route.phases) == 2
+        assert [phase.vc_class for phase in packet.route.phases] == [0, 1]
+
+    def test_pinned_dim_order_bypasses_the_policy(self):
+        machine = NetworkMachine(dims=(2, 2, 2), chip_cols=6, chip_rows=6,
+                                 seed=9, routing="valiant")
+        packet = machine.make_request(
+            PacketKind.COUNTED_WRITE, (0, 0, 0), CoreAddress(0, 0, 0),
+            (1, 1, 1), CoreAddress(0, 0, 0), dim_order=(2, 1, 0))
+        assert packet.route is None
+        assert packet.dim_order == (2, 1, 0)
+
+    def test_policy_instance_accepted(self):
+        torus_policy = make_policy("fixed-xyz", Torus3D((2, 2, 2)))
+        machine = NetworkMachine(dims=(2, 2, 2), chip_cols=6, chip_rows=6,
+                                 routing=torus_policy)
+        assert machine.routing is torus_policy
+
+    def test_unknown_policy_name_raises(self):
+        with pytest.raises(KeyError, match="unknown routing policy"):
+            NetworkMachine(dims=(2, 2, 2), chip_cols=6, chip_rows=6,
+                           routing="best-effort")
+
+
+class TestRingDeadlockFreedom:
+    """Wrap-heavy ring traffic drains completely under every policy.
+
+    This is the regression the per-VC link arbitration exists for: on a
+    ring longer than two nodes, minimal routes continue around the wrap
+    link, and a shared-FIFO link would deadlock the dateline discipline.
+    """
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_ring_storm_drains(self, name):
+        machine = NetworkMachine(dims=(5, 1, 1), chip_cols=6, chip_rows=6,
+                                 seed=21, routing=name)
+        packets = []
+        for x in range(5):
+            for offset in (1, 2):
+                packets.append(machine.send_counted_write(
+                    (x, 0, 0), CoreAddress(x, 1, 0),
+                    ((x + offset) % 5, 0, 0), CoreAddress(0, 0, 0),
+                    quad_addr=offset))
+        machine.sim.run()
+        assert all(p.delivered_ns is not None for p in packets)
+
+
+def test_next_request_direction_advances_valiant_phase(torus):
+    plan = RoutePlan(policy="valiant", phases=(
+        RoutePhase(target=(1, 0, 0), dim_order=(0, 1, 2), vc_class=0),
+        RoutePhase(target=(1, 1, 0), dim_order=(0, 1, 2), vc_class=1)))
+    packet = request_packet((0, 0, 0), (1, 1, 0), plan)
+    assert next_request_direction(packet, (0, 0, 0), torus) == (0, 1)
+    assert plan.phase_index == 0
+    # At the intermediate target the plan advances and heads for dst.
+    assert next_request_direction(packet, (1, 0, 0), torus) == (1, 1)
+    assert plan.phase_index == 1
+    assert next_request_direction(packet, (1, 1, 0), torus) is None

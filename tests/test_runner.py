@@ -340,3 +340,140 @@ class TestCli:
         out = capsys.readouterr().out
         header = out.splitlines()[0]
         assert "latencies.0" in header and "num_nodes" in header
+
+
+# ---------------------------------------------------------------------------
+# Routing ablations, --set validation, and report --plot.
+# ---------------------------------------------------------------------------
+
+
+class TestRouteAblation:
+    def test_sweeps_registered_per_policy(self):
+        from repro.routing import POLICY_NAMES
+        from repro.runner.experiments import BUILTIN_SWEEPS, ROUTE_ABLATIONS
+
+        for policy in POLICY_NAMES:
+            name = f"route-ablation-{policy}"
+            assert name in ROUTE_ABLATIONS
+            assert name in BUILTIN_SWEEPS
+            sweep = BUILTIN_SWEEPS[name]
+            assert sweep.experiment == "route_ablation"
+            assert all(p["routing"] == policy for p in sweep.grid)
+
+    def test_grids_cover_the_adversarial_patterns(self):
+        from repro.runner.experiments import (
+            ROUTE_ABLATION_PATTERNS,
+            ROUTE_ABLATIONS,
+        )
+
+        sweep = ROUTE_ABLATIONS["route-ablation-valiant"]
+        patterns = {p["pattern"] for p in sweep.grid}
+        assert patterns == set(ROUTE_ABLATION_PATTERNS)
+        # Tornado rides its own ring-shaped torus; the rest share one.
+        for params in sweep.grid:
+            if params["pattern"] == "tornado":
+                assert params["dims"][0] >= 3
+            else:
+                assert params["dims"] == (2, 2, 2)
+
+    def test_smoke_grid_runs_and_caches(self, tmp_path):
+        from repro.runner.experiments import ROUTE_ABLATION_SMOKE_GRID
+
+        sweep = Sweep("route_ablation", ROUTE_ABLATION_SMOKE_GRID,
+                      label="ablation-smoke")
+        cache = ResultCache(tmp_path)
+        serial = run_sweep(sweep, jobs=1, cache=cache)
+        assert serial.cache_misses == len(ROUTE_ABLATION_SMOKE_GRID)
+        parallel = run_sweep(sweep, jobs=2, cache=cache)
+        assert parallel.cache_hits == len(ROUTE_ABLATION_SMOKE_GRID)
+        assert json.dumps([r.record() for r in serial.runs]) == json.dumps(
+            [r.record() for r in parallel.runs]
+        )
+        routings = {r.record()["result"]["routing"] for r in serial.runs}
+        assert routings == {"randomized-minimal", "valiant"}
+
+
+class TestSetValidation:
+    def test_unknown_set_key_rejected(self, capsys):
+        code = main(
+            ["run", "load_sweep", "--set", "offered_loud=0.2", "--no-cache"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "offered_loud" in err and "accepted:" in err
+
+    def test_known_keys_accepted(self):
+        experiment = get_experiment("route_ablation")
+        experiment.validate_params({"routing": "valiant", "offered_load": 0.1})
+
+    def test_experiments_without_declared_params_skip_validation(self):
+        experiment = Experiment(
+            name="anything", fn=lambda **kw: {}, grid=ParameterGrid({})
+        )
+        experiment.validate_params({"whatever": 1})
+
+
+class TestReportPlot:
+    @staticmethod
+    def _payload(tmp_path):
+        runs = []
+        for routing, base in (("minimal", 100.0), ("valiant", 160.0)):
+            for load in (0.1, 0.4, 0.8):
+                runs.append(
+                    {
+                        "params": {"offered_load": load, "routing": routing},
+                        "result": {
+                            "routing": routing,
+                            "classes": {
+                                "request": {
+                                    "latency_ns": {"mean": base + 900 * load}
+                                }
+                            },
+                        },
+                    }
+                )
+        payload = {
+            "sweeps": [{"label": "demo", "experiment": "route_ablation",
+                        "runs": runs}]
+        }
+        path = tmp_path / "out.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_plot_renders_to_stderr(self, tmp_path, capsys):
+        path = self._payload(tmp_path)
+        code = main(
+            ["report", "--input", str(path),
+             "--plot", "offered_load:classes.request.latency_ns.mean"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "demo" in captured.out  # the table still goes to stdout
+        chart = captured.err
+        assert "offered_load" in chart
+        assert "classes.request.latency_ns.mean" in chart
+        assert "*" in chart
+
+    def test_plot_by_splits_series(self, tmp_path, capsys):
+        path = self._payload(tmp_path)
+        code = main(
+            ["report", "--input", str(path),
+             "--plot", "offered_load:classes.request.latency_ns.mean",
+             "--plot-by", "routing"]
+        )
+        assert code == 0
+        chart = capsys.readouterr().err
+        assert "* minimal" in chart and "o valiant" in chart
+
+    def test_malformed_plot_spec_errors(self, tmp_path, capsys):
+        path = self._payload(tmp_path)
+        assert main(["report", "--input", str(path), "--plot", "bad"]) == 2
+        assert "X:Y" in capsys.readouterr().err
+
+    def test_missing_columns_report_no_points(self, tmp_path, capsys):
+        path = self._payload(tmp_path)
+        code = main(
+            ["report", "--input", str(path), "--plot", "nope:missing"]
+        )
+        assert code == 0
+        assert "no plottable points" in capsys.readouterr().err

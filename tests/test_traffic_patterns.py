@@ -13,6 +13,7 @@ from repro.traffic import (
     BitComplementPattern,
     HotspotPattern,
     NeighborExchangePattern,
+    TornadoPattern,
     TransposePattern,
     UniformRandomPattern,
     make_pattern,
@@ -50,6 +51,42 @@ class TestPermutationPatterns:
         assert not pattern.sends_from((0, 0, 0))
         assert not pattern.sends_from((1, 1, 1))
         assert pattern.sends_from((0, 1, 0))
+
+
+class TestTornado:
+    @pytest.mark.parametrize("dims", [(8, 1, 1), (7, 1, 1), (4, 2, 2),
+                                      (5, 3, 2)])
+    def test_half_way_x_offset(self, dims):
+        torus = Torus3D(dims)
+        pattern = TornadoPattern(torus)
+        offset = -(-dims[0] // 2) - 1  # ceil(X/2) - 1
+        for src in torus.nodes():
+            x, y, z = src
+            assert pattern.permutation(src) == ((x + offset) % dims[0], y, z)
+
+    @pytest.mark.parametrize("dims", SHAPES)
+    def test_is_a_bijection(self, dims):
+        torus = Torus3D(dims)
+        pattern = TornadoPattern(torus)
+        images = {pattern.permutation(node) for node in torus.nodes()}
+        assert len(images) == torus.dims.num_nodes
+
+    def test_degenerate_on_short_rings(self):
+        """X <= 2 makes the offset zero: every node is a fixed point."""
+        torus = Torus3D((2, 2, 2))
+        pattern = TornadoPattern(torus)
+        assert all(not pattern.sends_from(node) for node in torus.nodes())
+
+    def test_all_traffic_circulates_one_direction(self):
+        """With the positive tie-break, minimal routes of tornado traffic
+        only ever use the X+ direction — the load collapse the routing
+        ablation measures."""
+        torus = Torus3D((8, 1, 1))
+        pattern = TornadoPattern(torus)
+        for src in torus.nodes():
+            dst = pattern.permutation(src)
+            offsets = torus.offsets(src, dst)
+            assert offsets[0] > 0 and offsets[1] == offsets[2] == 0
 
 
 class TestUniformAndHotspot:
@@ -190,4 +227,4 @@ class TestRegistry:
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError, match="unknown traffic pattern"):
-            make_pattern("tornado", Torus3D((2, 2, 2)))
+            make_pattern("typo-pattern", Torus3D((2, 2, 2)))
