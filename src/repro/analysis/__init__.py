@@ -20,6 +20,16 @@ from .aggregate import (
     sweeps_to_csv,
 )
 from .area import PAPER_TABLE2, PAPER_TABLE3, AreaModel, AreaRow
+from .closedloop import (
+    WindowSweepAnalysis,
+    analyze_window_sweep,
+    closed_vs_open_table,
+    detect_knee,
+    group_window_sweep_runs,
+    phase_loop_table,
+    window_sweep_table,
+    window_sweep_tables,
+)
 from .fits import LinearFit, fit_latency_vs_hops
 from .plot import ascii_chart, series_from_runs
 from .report import Comparison, comparison_table, format_table, within_band
@@ -49,8 +59,16 @@ __all__ = [
     "sweep_table",
     "sweeps_to_csv",
     "SaturationAnalysis",
+    "WindowSweepAnalysis",
     "analyze_load_sweep",
+    "analyze_window_sweep",
     "ascii_chart",
+    "closed_vs_open_table",
+    "detect_knee",
+    "group_window_sweep_runs",
+    "phase_loop_table",
+    "window_sweep_table",
+    "window_sweep_tables",
     "detect_saturation",
     "group_load_sweep_runs",
     "load_sweep_table",

@@ -130,6 +130,16 @@ class NetworkMachine:
                 totals[tc] += count
         return totals
 
+    def in_flight_counts(self) -> Dict[TrafficClass, int]:
+        """Machine-wide packets injected but not yet delivered, per class.
+
+        The occupancy signal closed-loop workloads (:mod:`repro.workload`)
+        throttle against and drain checks assert on.
+        """
+        injected = self.injected_counts()
+        delivered = self.delivered_counts()
+        return {tc: injected[tc] - delivered[tc] for tc in TrafficClass}
+
     def plan_request_route(self, src_node: Coord, dst_node: Coord,
                            rng: Optional[random.Random] = None,
                            src_core: Optional[CoreAddress] = None) -> RoutePlan:

@@ -16,7 +16,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 
 def _jsonify(value: object) -> object:
@@ -144,6 +144,54 @@ class ResultCache:
                 continue
             if experiment is None or entry.get("experiment") == experiment:
                 yield entry
+
+    def stats_by_config(self) -> Dict[Tuple[str, int], Dict[str, int]]:
+        """Entry and byte counts per ``(experiment, version)`` pair.
+
+        Unreadable or malformed files are grouped under
+        ``("<corrupt>", 0)`` so ``cache stats`` surfaces them instead of
+        silently skipping (they are misses on every lookup anyway).
+        """
+        stats: Dict[Tuple[str, int], Dict[str, int]] = {}
+        for path in sorted(self.root.glob("*/*.json")):
+            size = path.stat().st_size
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                key = (str(entry["experiment"]), int(entry.get("version", 1)))
+            except (OSError, ValueError, TypeError, KeyError):
+                key = ("<corrupt>", 0)
+            bucket = stats.setdefault(key, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return stats
+
+    def prune(self, registered: Mapping[str, int]) -> Dict[str, int]:
+        """Delete entries whose ``(experiment, version)`` is not registered.
+
+        ``registered`` maps experiment names to their current version;
+        an entry survives only when its experiment is present at exactly
+        that version — anything else (renamed experiments, stale
+        versions after a semantics bump, corrupt files) can never be
+        served again and is removed.  Returns ``{"removed", "kept",
+        "freed_bytes"}``.
+        """
+        removed = kept = freed = 0
+        for path in sorted(self.root.glob("*/*.json")):
+            size = path.stat().st_size
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+                experiment = str(entry["experiment"])
+                version = int(entry.get("version", 1))
+                stale = registered.get(experiment) != version
+            except (OSError, ValueError, TypeError, KeyError):
+                stale = True
+            if stale:
+                path.unlink()
+                removed += 1
+                freed += size
+            else:
+                kept += 1
+        return {"removed": removed, "kept": kept, "freed_bytes": freed}
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

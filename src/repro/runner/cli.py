@@ -6,6 +6,8 @@ Subcommands:
 * ``run EXPERIMENT [--set k=v ...]`` — one configuration, in-process.
 * ``sweep [NAME ...] [--smoke] [--jobs N]`` — fan a grid out across
   worker processes, memoized through the on-disk result cache.
+* ``cache {stats,prune}`` — entry/byte counts per (experiment, version),
+  and removal of entries no registered experiment can ever serve again.
 * ``report`` — format sweep output (or the cache) as a table or CSV.
 
 Result payloads go to stdout (or ``--output``); progress and cache
@@ -110,6 +112,39 @@ def _load_sweep_report(results: Sequence[SweepResult]) -> None:
         print(tables, file=sys.stderr)
 
 
+def _closed_loop_report(results: Sequence[SweepResult]) -> None:
+    """Print window-knee and phase-loop tables for closed-loop sweeps.
+
+    The closed-loop analogue of :func:`_load_sweep_report`: window
+    sweeps get one throughput/latency-vs-window table per (pattern,
+    routing) curve with the detected knee, phase-loop sweeps get the
+    per-configuration iteration-time comparison.  Stderr only; stdout
+    stays byte-stable.
+    """
+    from ..analysis.closedloop import phase_loop_table, window_sweep_tables
+
+    for result in results:
+        try:
+            if result.experiment == "closed_loop":
+                print(
+                    window_sweep_tables(
+                        [run.record() for run in result.runs],
+                        title=result.label,
+                    ),
+                    file=sys.stderr,
+                )
+            elif result.experiment == "phase_loop":
+                print(
+                    phase_loop_table(
+                        [run.record() for run in result.runs],
+                        title=result.label,
+                    ),
+                    file=sys.stderr,
+                )
+        except ValueError:
+            continue  # e.g. a grid whose points all failed to complete
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -165,6 +200,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", "-j", type=int, default=1, help="worker processes (default: 1)"
     )
     _add_common(sweep_parser)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or prune the result cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=("stats", "prune"),
+        help="stats: entry/byte counts per (experiment, version); "
+        "prune: delete entries whose (experiment, version) no longer "
+        "matches a registered experiment",
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with prune: report what would be removed without deleting",
+    )
 
     report_parser = sub.add_parser("report", help="format sweep results")
     report_parser.add_argument(
@@ -280,7 +336,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = run_sweeps(sweeps, jobs=args.jobs, cache=cache, progress=_progress)
     _emit(args, results)
     _load_sweep_report(results)
+    _closed_loop_report(results)
     _summarize(results, cache)
+    return 0
+
+
+def _registered_versions() -> Dict[str, int]:
+    """Current ``{experiment: version}`` map — what prune keeps."""
+    return {exp.name: exp.version for exp in list_experiments()}
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from ..analysis.report import format_table
+
+    if args.dry_run and args.action != "prune":
+        print("error: --dry-run only applies to prune", file=sys.stderr)
+        return 2
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        print(f"error: no cache at {root}", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    registered = _registered_versions()
+    if args.action == "stats":
+        stats = cache.stats_by_config()
+        rows = []
+        for (experiment, version), bucket in sorted(stats.items()):
+            current = registered.get(experiment)
+            if experiment == "<corrupt>":
+                status = "corrupt"
+            elif current is None:
+                status = "unregistered"
+            elif current != version:
+                status = f"stale (now v{current})"
+            else:
+                status = "current"
+            rows.append(
+                [
+                    experiment,
+                    str(version),
+                    str(bucket["entries"]),
+                    str(bucket["bytes"]),
+                    status,
+                ]
+            )
+        total_entries = sum(bucket["entries"] for bucket in stats.values())
+        total_bytes = sum(bucket["bytes"] for bucket in stats.values())
+        print(
+            format_table(
+                ("experiment", "version", "entries", "bytes", "status"),
+                rows,
+            )
+        )
+        print(
+            f"total: {total_entries} entries, {total_bytes} bytes "
+            f"in {cache.root}"
+        )
+        return 0
+    # prune
+    if args.dry_run:
+        stats = cache.stats_by_config()
+        removed = freed = 0
+        for (experiment, version), bucket in stats.items():
+            if registered.get(experiment) != version:
+                removed += bucket["entries"]
+                freed += bucket["bytes"]
+        print(f"would remove {removed} entries ({freed} bytes) from {cache.root}")
+        return 0
+    outcome = cache.prune(registered)
+    print(
+        f"removed {outcome['removed']} entries "
+        f"({outcome['freed_bytes']} bytes), kept {outcome['kept']} "
+        f"in {cache.root}"
+    )
     return 0
 
 
@@ -381,6 +509,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "report":
             return _cmd_report(args)
     except (KeyError, TypeError, ValueError, OSError) as error:

@@ -47,6 +47,18 @@ def _load_point(**params: object) -> dict:
     return measure_load_point(**params)
 
 
+def _window_point(**params: object) -> dict:
+    from ..workload.surface import measure_window_point
+
+    return measure_window_point(**params)
+
+
+def _phase_loop(**params: object) -> dict:
+    from ..workload.surface import measure_phase_loop
+
+    return measure_phase_loop(**params)
+
+
 # ---------------------------------------------------------------------------
 # Figure 5: one-way latency vs hop count on the 128-node machine.
 # ---------------------------------------------------------------------------
@@ -360,6 +372,171 @@ ROUTE_ABLATIONS = {
 }
 
 # ---------------------------------------------------------------------------
+# Closed-loop workloads: fixed-outstanding windows and fenced phase loops.
+# ---------------------------------------------------------------------------
+
+#: The outstanding-window axis of every ``closed-loop-<pattern>`` sweep.
+CLOSED_LOOP_WINDOWS = [1, 2, 4, 8, 16, 32]
+
+#: Patterns that get a registered ``closed-loop-<pattern>`` sweep (the
+#: same family the open-loop load sweeps cover, so every closed-loop
+#: plateau has an open-loop saturation curve to compare against).
+CLOSED_LOOP_PATTERNS = LOAD_SWEEP_PATTERNS
+
+
+def _closed_loop_grid(pattern: str) -> ParameterGrid:
+    return ParameterGrid(
+        {
+            "dims": [TORNADO_DIMS if pattern == "tornado" else (2, 2, 2)],
+            "chip_cols": 6,
+            "chip_rows": 6,
+            "pattern": pattern,
+            "window": list(CLOSED_LOOP_WINDOWS),
+            "machine_seed": 7,
+            "workload_seed": 11,
+            "warmup_ns": 400.0,
+            "measure_ns": 1600.0,
+        }
+    )
+
+
+CLOSED_LOOP_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 1, 1)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "uniform",
+        "routing": ["randomized-minimal", "valiant"],
+        "window": [1, 4],
+        "machine_seed": 7,
+        "workload_seed": 11,
+        "warmup_ns": 200.0,
+        "measure_ns": 600.0,
+    }
+)
+
+#: Parameter names measure_window_point accepts, for --set validation.
+WINDOW_POINT_PARAMS = (
+    "dims",
+    "chip_cols",
+    "chip_rows",
+    "pattern",
+    "routing",
+    "window",
+    "machine_seed",
+    "workload_seed",
+    "read_fraction",
+    "think_ns",
+    "warmup_ns",
+    "measure_ns",
+    "drain_ns",
+    "hotspot_fraction",
+)
+
+register(
+    Experiment(
+        name="closed_loop",
+        fn=_window_point,
+        grid=_closed_loop_grid("uniform"),
+        smoke_grid=CLOSED_LOOP_SMOKE_GRID,
+        description="Closed-loop fixed-outstanding-window point "
+        "(throughput/latency vs window)",
+        param_names=WINDOW_POINT_PARAMS,
+    )
+)
+
+CLOSED_LOOP_SWEEPS = {
+    f"closed-loop-{pattern}": Sweep(
+        "closed_loop",
+        _closed_loop_grid(pattern),
+        label=f"closed-loop-{pattern}",
+    )
+    for pattern in CLOSED_LOOP_PATTERNS
+}
+
+#: Patterns that get a registered ``phase-loop-<pattern>`` sweep; each
+#: fans the routing-policy axis out over one fence-synchronized
+#: MD-timestep-shaped workload (export burst, fence, return burst,
+#: fence).
+PHASE_LOOP_PATTERNS = ("halo", "neighbor", "uniform", "tornado")
+
+
+def _phase_loop_grid(pattern: str) -> ParameterGrid:
+    # Tornado gets bandwidth-bound bursts (deep windows, long phases):
+    # with latency-bound bursts every policy just pays its path length
+    # and minimal routing looks fine, which hides exactly the ring
+    # congestion the tornado workload exists to expose.
+    heavy = pattern == "tornado"
+    return ParameterGrid(
+        {
+            "dims": [TORNADO_DIMS if heavy else (2, 2, 2)],
+            "chip_cols": 6,
+            "chip_rows": 6,
+            "pattern": pattern,
+            "routing": list(ROUTE_ABLATION_POLICIES),
+            "messages_per_node": 200 if heavy else 12,
+            "window": 64 if heavy else 4,
+            "iterations": 1 if heavy else 2,
+            "machine_seed": 7,
+            "workload_seed": 11,
+        }
+    )
+
+
+PHASE_LOOP_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 1, 1)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "uniform",
+        "routing": ["randomized-minimal"],
+        "messages_per_node": 4,
+        "window": 2,
+        "iterations": 1,
+        "machine_seed": 7,
+        "workload_seed": 11,
+    }
+)
+
+#: Parameter names measure_phase_loop accepts, for --set validation.
+PHASE_LOOP_PARAMS = (
+    "dims",
+    "chip_cols",
+    "chip_rows",
+    "pattern",
+    "routing",
+    "messages_per_node",
+    "window",
+    "iterations",
+    "fence_hops",
+    "machine_seed",
+    "workload_seed",
+    "read_fraction",
+    "hotspot_fraction",
+)
+
+register(
+    Experiment(
+        name="phase_loop",
+        fn=_phase_loop,
+        grid=_phase_loop_grid("halo"),
+        smoke_grid=PHASE_LOOP_SMOKE_GRID,
+        description="Fence-synchronized phase workload "
+        "(MD-timestep iteration time per routing policy)",
+        param_names=PHASE_LOOP_PARAMS,
+    )
+)
+
+PHASE_LOOP_SWEEPS = {
+    f"phase-loop-{pattern}": Sweep(
+        "phase_loop",
+        _phase_loop_grid(pattern),
+        label=f"phase-loop-{pattern}",
+    )
+    for pattern in PHASE_LOOP_PATTERNS
+}
+
+# ---------------------------------------------------------------------------
 # 512-node scaling study: the 8x8x8 torus with reduced-size chips.
 # ---------------------------------------------------------------------------
 
@@ -411,6 +588,8 @@ BUILTIN_SWEEPS = {
         SCALING_512_LATENCY_SWEEP,
         *LOAD_SWEEPS.values(),
         *ROUTE_ABLATIONS.values(),
+        *CLOSED_LOOP_SWEEPS.values(),
+        *PHASE_LOOP_SWEEPS.values(),
     )
 }
 

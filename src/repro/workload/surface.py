@@ -1,0 +1,126 @@
+"""Pure-function run surfaces for the closed-loop workload subsystem.
+
+Picklable entry points for the parallel runner (:mod:`repro.runner`):
+plain JSON-able parameters in, JSON-able results out, a fresh machine
+per call.  One :func:`measure_window_point` call is one point of a
+throughput-vs-window curve (the ``closed-loop-*`` sweeps fan the window
+axis out across workers); one :func:`measure_phase_loop` call is one
+fence-synchronized phase-workload configuration (the ``phase-loop-*``
+sweeps fan the routing-policy axis out).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..netsim.surface import build_machine
+from ..traffic.patterns import make_pattern
+from .phases import PhaseLoopHarness, md_timestep_phases
+from .window import FixedWindowHarness
+
+
+def measure_window_point(
+    dims: Sequence[int] = (2, 2, 2),
+    chip_cols: int = 6,
+    chip_rows: int = 6,
+    pattern: str = "uniform",
+    routing: str = "randomized-minimal",
+    window: int = 4,
+    machine_seed: int = 0,
+    workload_seed: int = 0,
+    read_fraction: float = 0.0,
+    think_ns: float = 0.0,
+    warmup_ns: float = 400.0,
+    measure_ns: float = 1600.0,
+    drain_ns: Optional[float] = None,
+    hotspot_fraction: float = 0.5,
+) -> dict:
+    """One fixed-outstanding-window point on a fresh machine.
+
+    Returns the
+    :meth:`~repro.workload.window.WindowLoopResult.to_dict` record:
+    self-throttled accepted load, completed-transaction latency
+    percentiles, and mean outstanding occupancy for ``window`` requests
+    in flight per node under the named pattern and routing policy.
+    """
+    machine = build_machine(dims, chip_cols, chip_rows, machine_seed, routing=routing)
+    spatial = make_pattern(pattern, machine.torus, fraction=hotspot_fraction)
+    harness = FixedWindowHarness(
+        machine,
+        spatial,
+        window,
+        seed=workload_seed,
+        read_fraction=read_fraction,
+        think_ns=think_ns,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        drain_ns=drain_ns,
+    )
+    return harness.run().to_dict()
+
+
+def measure_window_sweep(
+    windows: Sequence[int],
+    knee_fraction: float = 0.95,
+    **point_params: object,
+) -> dict:
+    """A whole throughput-vs-window curve in-process, with knee analysis.
+
+    Convenience for examples and tests that do not go through the
+    runner; each window point still builds a fresh machine, so results
+    are identical to a runner sweep over the same parameters.
+    """
+    from ..analysis.closedloop import analyze_window_sweep
+
+    runs = [
+        {"result": measure_window_point(window=window, **point_params)}
+        for window in sorted(int(window) for window in windows)
+    ]
+    analysis = analyze_window_sweep(runs, knee_fraction)
+    return {
+        "points": [run["result"] for run in runs],
+        "knee": analysis.to_dict(),
+    }
+
+
+def measure_phase_loop(
+    dims: Sequence[int] = (2, 2, 2),
+    chip_cols: int = 6,
+    chip_rows: int = 6,
+    pattern: str = "halo",
+    routing: str = "randomized-minimal",
+    messages_per_node: int = 12,
+    window: int = 4,
+    iterations: int = 2,
+    fence_hops: Optional[int] = None,
+    machine_seed: int = 0,
+    workload_seed: int = 0,
+    read_fraction: float = 0.0,
+    hotspot_fraction: float = 0.5,
+) -> dict:
+    """One fence-synchronized phase workload on a fresh machine.
+
+    Models the MD timestep shape: an export burst over ``pattern``, a
+    machine-wide fence, a return burst over the same pattern, another
+    fence — ``iterations`` times.  Returns the
+    :meth:`~repro.workload.phases.PhaseLoopResult.to_dict` record:
+    per-iteration time, per-phase burst/fence breakdown, and the
+    fence-wait fraction.
+    """
+    machine = build_machine(dims, chip_cols, chip_rows, machine_seed, routing=routing)
+    spatial = make_pattern(pattern, machine.torus, fraction=hotspot_fraction)
+    phases = md_timestep_phases(
+        machine,
+        messages_per_node=messages_per_node,
+        window=window,
+        pattern=spatial,
+        read_fraction=read_fraction,
+    )
+    harness = PhaseLoopHarness(
+        machine, phases, seed=workload_seed, fence_hops=fence_hops
+    )
+    result = harness.run(iterations)
+    record = result.to_dict()
+    record["messages_per_node"] = messages_per_node
+    record["window"] = window
+    return record

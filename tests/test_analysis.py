@@ -9,7 +9,10 @@ from repro.analysis import (
     Comparison,
     LinearFit,
     analyze_load_sweep,
+    analyze_window_sweep,
+    closed_vs_open_table,
     comparison_table,
+    detect_knee,
     detect_saturation,
     fit_latency_vs_hops,
     format_table,
@@ -17,9 +20,12 @@ from repro.analysis import (
     grouped_percentiles,
     load_sweep_table,
     percentile,
+    phase_loop_table,
     render_ascii,
     summarize_values,
     trace_from_breakdowns,
+    window_sweep_table,
+    window_sweep_tables,
     within_band,
 )
 from repro.fullsim.timestep import TimestepBreakdown
@@ -254,6 +260,164 @@ class TestSaturation:
         assert "saturation at offered load" in text
         flat = load_sweep_table([_load_run(0.1, 100.0)])
         assert "no saturation" in flat
+
+
+class TestSaturationEdgeCases:
+    """Degenerate curves the closed-loop comparison relies on."""
+
+    def test_flat_curve_never_returns_spurious_crossing(self):
+        # Long flat curves with small jitter must stay None, including
+        # when every latency equals the zero-load latency exactly.
+        loads = [0.05 * i for i in range(1, 11)]
+        assert detect_saturation(loads, [100.0] * 10) is None
+        jitter = [100.0, 101.0, 99.5, 100.2, 100.0,
+                  99.8, 100.4, 100.1, 99.9, 100.3]
+        assert detect_saturation(loads, jitter) is None
+        # Exactly at the threshold is "not yet diverged" (strict cross).
+        assert detect_saturation([0.1, 0.9], [100.0, 300.0],
+                                 latency_multiple=3.0) is None
+        analysis = analyze_load_sweep(
+            [_load_run(load, 100.0) for load in loads])
+        assert not analysis.saturated
+        assert analysis.saturation_load is None
+
+    def test_non_monotone_latency_interpolates_stably(self):
+        # A dip just before the knee (measurement noise near saturation)
+        # must not break the interpolation: the crossing lands between
+        # the bracketing loads and stays deterministic.
+        loads = [0.1, 0.3, 0.5, 0.7, 0.9]
+        latencies = [100.0, 120.0, 95.0, 110.0, 900.0]
+        point = detect_saturation(loads, latencies, latency_multiple=3.0)
+        assert point is not None
+        assert 0.7 < point < 0.9
+        assert point == pytest.approx(
+            0.7 + 0.2 * (300.0 - 110.0) / (900.0 - 110.0))
+        assert detect_saturation(loads, latencies, 3.0) == point
+
+    def test_non_monotone_dip_below_threshold_after_crossing(self):
+        # The first crossing wins even when a later point dips back
+        # under the threshold — saturation detection is first-passage,
+        # not last-passage.
+        loads = [0.1, 0.5, 0.9]
+        latencies = [100.0, 400.0, 250.0]
+        point = detect_saturation(loads, latencies, latency_multiple=3.0)
+        assert point == pytest.approx(0.1 + 0.4 * (300.0 - 100.0) / 300.0)
+
+    def test_single_point_curve(self):
+        assert detect_saturation([0.1], [100.0]) is None
+        # A single already-diverged point saturates at that load (the
+        # zero-load latency is the point itself, so only possible via a
+        # threshold below 1x — guarded by validation).
+        analysis = analyze_load_sweep([_load_run(0.1, 100.0)])
+        assert analysis.zero_load_latency_ns == 100.0
+        assert not analysis.saturated
+
+
+def _window_run(window, accepted, latency, pattern="uniform",
+                routing="randomized-minimal"):
+    return {
+        "params": {"window": window},
+        "result": {
+            "window": window,
+            "pattern": pattern,
+            "routing": routing,
+            "accepted_load": accepted,
+            "transactions": {"latency_ns": {"mean": latency}},
+        },
+    }
+
+
+class TestClosedLoopAnalysis:
+    def test_detect_knee_finds_plateau_start(self):
+        windows = [1, 2, 4, 8, 16]
+        throughputs = [0.1, 0.19, 0.28, 0.31, 0.31]
+        # Threshold 0.95 x 0.31 = 0.2945: window 4 (0.28) misses it,
+        # window 8 reaches the plateau.
+        assert detect_knee(windows, throughputs) == 8
+        # A looser fraction moves the knee earlier.
+        assert detect_knee(windows, throughputs, knee_fraction=0.9) == 4
+
+    def test_detect_knee_degenerate_curves(self):
+        # Flat curve (already saturated at window 1): knee at the start.
+        assert detect_knee([1, 2, 4], [0.3, 0.3, 0.3]) == 1
+        # All-zero curve must not crash or pick a spurious knee.
+        assert detect_knee([1, 2, 4], [0.0, 0.0, 0.0]) == 1
+        # Still rising at the end: knee at the largest swept window.
+        assert detect_knee([1, 2, 4], [0.1, 0.2, 0.4]) == 4
+
+    def test_detect_knee_validation(self):
+        with pytest.raises(ValueError):
+            detect_knee([], [])
+        with pytest.raises(ValueError):
+            detect_knee([2, 1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            detect_knee([1, 2], [0.1])
+        with pytest.raises(ValueError):
+            detect_knee([1, 2], [0.1, 0.2], knee_fraction=0.0)
+
+    def test_analyze_window_sweep_sorts_and_rejects_mixes(self):
+        runs = [_window_run(8, 0.30, 300.0),
+                _window_run(1, 0.10, 60.0),
+                _window_run(4, 0.29, 150.0)]
+        analysis = analyze_window_sweep(runs)
+        assert [p[0] for p in analysis.points] == [1, 4, 8]
+        assert analysis.knee_window == 4
+        assert analysis.plateau_accepted_load == pytest.approx(0.30)
+        assert analysis.latency_at_knee_ns == pytest.approx(150.0)
+        assert analysis.to_dict()["knee_window"] == 4
+        with pytest.raises(ValueError):
+            analyze_window_sweep([_window_run(1, 0.1, 60.0),
+                                  _window_run(2, 0.1, 60.0,
+                                              routing="valiant")])
+        with pytest.raises(ValueError):
+            analyze_window_sweep([{"params": {}, "result": {}}])
+
+    def test_window_sweep_table_mentions_knee(self):
+        runs = [_window_run(1, 0.1, 60.0), _window_run(4, 0.3, 150.0)]
+        text = window_sweep_table(runs, title="sweep")
+        assert "sweep" in text
+        assert "knee at window" in text
+        both = window_sweep_tables(
+            runs + [_window_run(1, 0.08, 70.0, routing="valiant")])
+        assert "uniform/randomized-minimal" in both
+        assert "uniform/valiant" in both
+
+    def test_closed_vs_open_table(self):
+        window_analysis = analyze_window_sweep(
+            [_window_run(1, 0.1, 110.0), _window_run(8, 0.55, 400.0)])
+        open_runs = [_load_run(0.1, 100.0),
+                     _load_run(0.6, 150.0, accepted=0.6),
+                     _load_run(0.9, 900.0, accepted=0.6)]
+        for run in open_runs:
+            run["result"]["routing"] = "randomized-minimal"
+        open_analysis = analyze_load_sweep(open_runs)
+        text = closed_vs_open_table(window_analysis, open_analysis)
+        assert "closed-loop plateau 0.550" in text
+        assert "0.92x" in text  # 0.55 / 0.6
+        # Mismatched curves are refused.
+        other = analyze_window_sweep([_window_run(1, 0.1, 60.0,
+                                                  pattern="tornado")])
+        with pytest.raises(ValueError):
+            closed_vs_open_table(other, open_analysis)
+
+    def test_phase_loop_table(self):
+        runs = [
+            {"result": {"pattern": "halo", "routing": "valiant",
+                        "window": 4, "messages_per_node": 12,
+                        "iterations": [{}, {}],
+                        "mean_iteration_ns": 900.0,
+                        "mean_fence_wait_fraction": 0.4}},
+            {"result": {"pattern": "halo", "routing": "fixed-xyz",
+                        "window": 4, "messages_per_node": 12,
+                        "iterations": [{}, {}],
+                        "mean_iteration_ns": 1200.0,
+                        "mean_fence_wait_fraction": 0.5}},
+        ]
+        text = phase_loop_table(runs, title="phase-loop-halo")
+        assert "phase-loop-halo" in text
+        assert text.index("fixed-xyz") < text.index("valiant")  # sorted
+        with pytest.raises(ValueError):
+            phase_loop_table([{"result": {}}])
 
 
 class TestReportHelpers:

@@ -66,6 +66,45 @@ class TestLink:
         sim.run()
         assert len(arrivals) == 3
 
+    def test_round_robin_prevents_vc_starvation(self):
+        """A continuously backlogged VC must not starve a low-rate VC.
+
+        Pins the PR-3 arbitration rebuild: with per-VC queues and
+        round-robin arbitration, a low-rate VC's head packet is served
+        within two serialization slots of arriving (the packet already
+        in service, then its own slot) no matter how deep the other
+        VC's backlog is.  A shared FIFO would park it behind the entire
+        backlog (~40 slots here).
+        """
+        sim = Simulator()
+        deliveries = []
+        link = Link(sim, "l", latency_ns=0.0, ser_ns_per_flit=1.0,
+                    vcs=2, credit_flits=64,
+                    deliver=lambda p, v, l: deliveries.append((sim.now, v)))
+
+        def backlog():
+            for __ in range(40):
+                link.send(make_packet(), 0)
+
+        sim.at(0.0, backlog)
+        enqueued = []
+
+        def trickle():
+            enqueued.append(sim.now)
+            link.send(make_packet(), 1)
+
+        for i in range(8):
+            sim.at(5.0 * i, trickle)
+        sim.run()
+        vc1_times = [t for t, vc in deliveries if vc == 1]
+        assert len(vc1_times) == 8
+        for t_in, t_out in zip(enqueued, vc1_times):
+            assert t_out <= t_in + 2.0 + 1e-9
+        # ... while the backlogged VC keeps making progress in between.
+        vc0_before_last = sum(1 for t, vc in deliveries
+                              if vc == 0 and t < vc1_times[-1])
+        assert vc0_before_last >= 8
+
     def test_stats(self):
         sim = Simulator()
         link = Link(sim, "l", 0.0, 1.5, vcs=1, credit_flits=8,

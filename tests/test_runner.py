@@ -477,3 +477,131 @@ class TestReportPlot:
         )
         assert code == 0
         assert "no plottable points" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance: stats and prune.
+# ---------------------------------------------------------------------------
+
+
+class TestCacheMaintenance:
+    def _seeded_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("fig11_fence", {"a": 1}, {"r": 1}, version=1)
+        cache.put("fig11_fence", {"a": 2}, {"r": 2}, version=1)
+        cache.put("fig5_latency", {"b": 1}, {"r": 3}, version=99)  # stale
+        cache.put("gone_experiment", {"c": 1}, {"r": 4}, version=1)
+        return cache
+
+    def test_stats_by_config_counts_entries_and_bytes(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        stats = cache.stats_by_config()
+        assert stats[("fig11_fence", 1)]["entries"] == 2
+        assert stats[("fig5_latency", 99)]["entries"] == 1
+        assert all(bucket["bytes"] > 0 for bucket in stats.values())
+
+    def test_stats_groups_corrupt_entries(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        path = cache.put("fig11_fence", {"a": 3}, {"r": 5}, version=1)
+        path.write_text("not json", encoding="utf-8")
+        stats = cache.stats_by_config()
+        assert stats[("<corrupt>", 0)]["entries"] == 1
+
+    def test_prune_removes_unregistered_and_stale_versions(self, tmp_path):
+        cache = self._seeded_cache(tmp_path)
+        registered = {"fig11_fence": 1, "fig5_latency": 2}
+        outcome = cache.prune(registered)
+        assert outcome["removed"] == 2  # stale fig5 v99 + gone_experiment
+        assert outcome["kept"] == 2
+        assert outcome["freed_bytes"] > 0
+        # The surviving entries are still servable.
+        assert cache.get("fig11_fence", {"a": 1}, version=1) is not None
+        assert cache.get("fig5_latency", {"b": 1}, version=99) is None
+
+    def test_cli_cache_stats_and_prune(self, tmp_path, capsys):
+        cache = self._seeded_cache(tmp_path)
+        root = str(cache.root)
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "gone_experiment" in out and "unregistered" in out
+        assert "stale" in out and "total: 4 entries" in out
+
+        assert main(["cache", "prune", "--dry-run", "--cache-dir", root]) == 0
+        assert "would remove 2 entries" in capsys.readouterr().out
+        assert len(cache) == 4  # dry run deletes nothing
+
+        assert main(["cache", "prune", "--cache-dir", root]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert len(cache) == 2
+        # fig11_fence v1 matches the registered experiment and survives.
+        assert cache.get("fig11_fence", {"a": 1}, version=1) is not None
+
+    def test_cli_cache_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nope")])
+        assert code == 2
+        assert "no cache" in capsys.readouterr().err
+
+    def test_cli_cache_stats_rejects_dry_run(self, tmp_path, capsys):
+        cache = self._seeded_cache(tmp_path)
+        code = main(["cache", "stats", "--dry-run", "--cache-dir",
+                     str(cache.root)])
+        assert code == 2
+        assert "--dry-run only applies to prune" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop workload sweeps.
+# ---------------------------------------------------------------------------
+
+
+class TestClosedLoopSweeps:
+    def test_sweeps_registered_per_pattern(self):
+        from repro.runner.experiments import (
+            BUILTIN_SWEEPS,
+            CLOSED_LOOP_PATTERNS,
+            CLOSED_LOOP_SWEEPS,
+            PHASE_LOOP_PATTERNS,
+            PHASE_LOOP_SWEEPS,
+        )
+
+        for pattern in CLOSED_LOOP_PATTERNS:
+            name = f"closed-loop-{pattern}"
+            assert name in CLOSED_LOOP_SWEEPS and name in BUILTIN_SWEEPS
+            sweep = BUILTIN_SWEEPS[name]
+            assert sweep.experiment == "closed_loop"
+            assert all(p["pattern"] == pattern for p in sweep.grid)
+        for pattern in PHASE_LOOP_PATTERNS:
+            name = f"phase-loop-{pattern}"
+            assert name in PHASE_LOOP_SWEEPS and name in BUILTIN_SWEEPS
+            assert BUILTIN_SWEEPS[name].experiment == "phase_loop"
+
+    def test_smoke_grids_run_and_cache(self, tmp_path):
+        from repro.runner.experiments import (
+            CLOSED_LOOP_SMOKE_GRID,
+            PHASE_LOOP_SMOKE_GRID,
+        )
+
+        cache = ResultCache(tmp_path)
+        window_sweep = Sweep("closed_loop", CLOSED_LOOP_SMOKE_GRID,
+                             label="closed-smoke")
+        serial = run_sweep(window_sweep, jobs=1, cache=cache)
+        parallel = run_sweep(window_sweep, jobs=2, cache=cache)
+        assert parallel.cache_hits == len(CLOSED_LOOP_SMOKE_GRID)
+        assert json.dumps([r.record() for r in serial.runs]) == json.dumps(
+            [r.record() for r in parallel.runs]
+        )
+        phase_sweep = Sweep("phase_loop", PHASE_LOOP_SMOKE_GRID,
+                            label="phase-smoke")
+        result = run_sweep(phase_sweep, jobs=2, cache=cache)
+        record = result.runs[0].record()["result"]
+        assert record["mean_iteration_ns"] > 0
+        assert 0 < record["mean_fence_wait_fraction"] < 1
+
+    def test_set_validation_covers_workload_params(self):
+        get_experiment("closed_loop").validate_params(
+            {"window": 8, "routing": "valiant"})
+        get_experiment("phase_loop").validate_params(
+            {"messages_per_node": 6, "fence_hops": 2})
+        with pytest.raises(ValueError):
+            get_experiment("closed_loop").validate_params({"windoww": 8})
