@@ -13,8 +13,19 @@ textbook result the pluggable routing subsystem exists to measure:
   the paper's randomized minimal scheme (Section III-B2), which is the
   argument for Anton 3 shipping minimal routing in the first place.
 
+The second act is the per-hop adaptive-escape policy (this PR's
+tentpole): under both congesting patterns — **tornado** (where the
+half-ring tie lets a per-hop router balance the two ring rotations
+oblivious minimal routing must commit to blindly) and **hotspot**
+(where per-hop credit observation steers packets around the converging
+links) — ``adaptive-escape`` must beat ``fixed-xyz`` decisively, while
+under benign **uniform** traffic it must stay within noise of the
+paper's randomized minimal scheme (ties in the per-hop score degrade to
+a random minimal choice).
+
 Curves run on the 8-node ring (8 x 1 x 1) where ring effects are
-visible, via the parallel runner and the session result cache.
+visible (hotspot on the 2 x 2 x 2 torus, as in the registered sweeps),
+via the parallel runner and the session result cache.
 """
 
 import pytest
@@ -23,14 +34,16 @@ from repro.analysis import analyze_load_sweep, load_sweep_table
 from repro.runner import ParameterGrid, Sweep, run_sweep
 
 RING_DIMS = (8, 1, 1)
+HOTSPOT_DIMS = (2, 2, 2)
 TORNADO_LOADS = [0.05, 0.2, 0.3, 0.45, 0.6]
 UNIFORM_LOADS = [0.05, 0.3, 0.45, 0.6, 0.8, 1.0]
+HOTSPOT_LOADS = [0.6, 0.8, 1.0]
 
 
-def _ablation_analysis(pattern, routing, loads, cache):
+def _ablation_analysis(pattern, routing, loads, cache, dims=RING_DIMS):
     grid = ParameterGrid(
         {
-            "dims": [RING_DIMS],
+            "dims": [dims],
             "chip_cols": 6,
             "chip_rows": 6,
             "pattern": pattern,
@@ -73,6 +86,30 @@ def uniform_valiant(runner_cache):
                               runner_cache)
 
 
+@pytest.fixture(scope="module")
+def tornado_adaptive(runner_cache):
+    return _ablation_analysis("tornado", "adaptive-escape", TORNADO_LOADS,
+                              runner_cache)
+
+
+@pytest.fixture(scope="module")
+def uniform_adaptive(runner_cache):
+    return _ablation_analysis("uniform", "adaptive-escape", UNIFORM_LOADS,
+                              runner_cache)
+
+
+@pytest.fixture(scope="module")
+def hotspot_fixed(runner_cache):
+    return _ablation_analysis("hotspot", "fixed-xyz", HOTSPOT_LOADS,
+                              runner_cache, dims=HOTSPOT_DIMS)
+
+
+@pytest.fixture(scope="module")
+def hotspot_adaptive(runner_cache):
+    return _ablation_analysis("hotspot", "adaptive-escape", HOTSPOT_LOADS,
+                              runner_cache, dims=HOTSPOT_DIMS)
+
+
 def test_minimal_routing_collapses_under_tornado(tornado_fixed):
     """Fixed-xyz saturates almost immediately on the one-directional
     ring pattern: latency diverges early and accepted throughput never
@@ -106,3 +143,36 @@ def test_valiant_pays_latency_at_zero_load(uniform_minimal, uniform_valiant):
     node shows up as higher zero-load latency."""
     assert (uniform_valiant.zero_load_latency_ns
             > 1.15 * uniform_minimal.zero_load_latency_ns)
+
+
+def test_adaptive_escape_beats_fixed_xyz_under_tornado(tornado_fixed,
+                                                       tornado_adaptive):
+    """The per-hop payoff on the ring: at the tornado's half-ring tie
+    both rotations are productive, so adaptive-escape balances them per
+    hop from adaptive-VC credit (and Valiant-misroutes out of the
+    congested rotation when its budget allows) while fixed-xyz piles
+    everything onto one direction (measured ~3x here; assert 2x)."""
+    assert tornado_adaptive.max_accepted_load > \
+        2.0 * tornado_fixed.max_accepted_load
+
+
+def test_adaptive_escape_beats_fixed_xyz_under_hotspot(hotspot_fixed,
+                                                       hotspot_adaptive):
+    """Converging hotspot traffic: per-hop credit observation spreads
+    packets across the productive dimensions that deterministic XYZ
+    serializes (measured ~2.8x accepted load here; assert 1.5x)."""
+    assert hotspot_adaptive.max_accepted_load > \
+        1.5 * hotspot_fixed.max_accepted_load
+
+
+def test_adaptive_escape_matches_randomized_minimal_under_uniform(
+        uniform_minimal, uniform_adaptive):
+    """Under benign uniform traffic the per-hop score is all ties, which
+    break randomly — adaptive-escape must stay within noise of the
+    paper's randomized minimal scheme on both throughput and zero-load
+    latency (it may exceed it: misrouting out of transient hotspots is
+    allowed to help)."""
+    assert uniform_adaptive.max_accepted_load > \
+        0.85 * uniform_minimal.max_accepted_load
+    assert uniform_adaptive.zero_load_latency_ns == pytest.approx(
+        uniform_minimal.zero_load_latency_ns, rel=0.15)

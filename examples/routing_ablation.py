@@ -2,13 +2,14 @@
 
 Sweeps open-loop tornado traffic (the half-way ring offset where
 minimal dimension-order routing collapses) on an 8-node ring under
-three routing policies and prints the latency-vs-load table per policy
+four routing policies and prints the latency-vs-load table per policy
 — fixed-xyz collapses, randomized minimal limps, Valiant keeps both
-ring directions busy.  The same curves (plus transpose, bit-complement
-and hotspot) are available through the parallel runner as registered
-sweeps::
+ring directions busy, and per-hop adaptive-escape matches Valiant under
+congestion without paying its detour at low load.  The same curves
+(plus transpose, bit-complement and hotspot) are available through the
+parallel runner as registered sweeps::
 
-    repro-runner sweep route-ablation-valiant route-ablation-fixed-xyz
+    repro-runner sweep route-ablation-valiant route-ablation-adaptive-escape
 
 and can be rendered as an ASCII chart straight from the results::
 
@@ -25,7 +26,8 @@ from repro.traffic import measure_load_sweep
 
 RING = (8, 1, 1)
 LOADS = [0.05, 0.2, 0.45]
-POLICIES = ("fixed-xyz", "randomized-minimal", "valiant")
+POLICIES = ("fixed-xyz", "randomized-minimal", "valiant",
+            "adaptive-escape")
 
 
 def main() -> None:

@@ -48,6 +48,7 @@ def ascii_chart(
     x_label: str = "",
     y_label: str = "",
     title: str = "",
+    force_legend: bool = False,
 ) -> str:
     """Render named point series as one ASCII chart.
 
@@ -55,6 +56,12 @@ def ascii_chart(
     share the axis scales.  ``width``/``height`` size the plotting
     raster (axes and labels come on top).  Series beyond the marker
     alphabet reuse its last marker.
+
+    The legend renders whenever there are multiple series or a named
+    one; ``force_legend`` renders it even for a single unnamed series
+    (label ``(all)``) — the CLI sets it when ``--plot-by`` was
+    requested, so grouping that collapses to one series still shows
+    which series the marker is.
     """
     if width < 8 or height < 4:
         raise ValueError("chart needs width >= 8 and height >= 4")
@@ -96,9 +103,10 @@ def ascii_chart(
     lines.append(f"{'':{margin}}  {x_lo_tick}{'':{gap}}{x_hi_tick}")
     if x_label:
         lines.append(f"{'':{margin}}  {x_label}")
-    if len(named) > 1 or named[0][0]:
+    if force_legend or len(named) > 1 or named[0][0]:
         legend = "   ".join(
-            f"{SERIES_MARKERS[min(i, len(SERIES_MARKERS) - 1)]} {label}"
+            f"{SERIES_MARKERS[min(i, len(SERIES_MARKERS) - 1)]} "
+            f"{label or '(all)'}"
             for i, (label, __) in enumerate(named))
         lines.append(f"{'':{margin}}  {legend}")
     return "\n".join(lines)

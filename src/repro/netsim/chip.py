@@ -32,7 +32,7 @@ from .edge_router import (
     edge_vc,
 )
 from .fabric import FabricError, Link
-from .packet import CoreAddress, Packet, PacketKind, TrafficClass
+from .packet import ADAPTIVE_VC, CoreAddress, Packet, PacketKind, TrafficClass
 from .params import DEFAULT_PARAMS, LatencyParams
 
 SIDES = ("L", "R")  # slice 0 -> left edge, slice 1 -> right edge
@@ -227,7 +227,10 @@ class ChipNetwork(CoreNetworkHost):
         XYZ (Section III-B2), so no wraparound moves and a single
         response VC stays deadlock-free.  Requests resolve their
         injection-time :class:`~repro.routing.policy.RoutePlan` (or the
-        legacy single-phase ``dim_order`` when no plan was attached).
+        legacy single-phase ``dim_order`` when no plan was attached);
+        adaptive plans re-select per hop against this chip's outgoing
+        adaptive-VC credit/occupancy (:meth:`adaptive_vc_state`) with
+        the chip RNG breaking score ties.
         """
         if packet.traffic_class is TrafficClass.RESPONSE:
             for axis in (0, 1, 2):
@@ -235,7 +238,36 @@ class ChipNetwork(CoreNetworkHost):
                 if delta:
                     return (axis, 1 if delta > 0 else -1)
             return None
+        plan = packet.route
+        if plan is not None and getattr(plan, "adaptive", False):
+            return next_request_direction(packet, self.coord, self.torus,
+                                          probe=self._adaptive_probe(packet),
+                                          rng=self._rng)
         return next_request_direction(packet, self.coord, self.torus)
+
+    def adaptive_vc_state(self, direction: Tuple[int, int],
+                          slice_index: int) -> Tuple[int, int]:
+        """``(credits, queued_flits)`` of one outgoing channel's adaptive VC.
+
+        The downstream-credit/occupancy observation the per-hop adaptive
+        chooser (:mod:`repro.routing.escape`) scores candidate
+        directions with; an unwired channel reads as zero credit, so it
+        can never win.
+        """
+        ca = self.channel_adapters[(direction, slice_index)]
+        link = ca.output_or_none("channel")
+        if link is None:
+            return (0, 0)
+        return (link.vc_credits(ADAPTIVE_VC),
+                link.queued_flits_on(ADAPTIVE_VC))
+
+    def _adaptive_probe(self, packet: Packet):
+        """The per-packet probe closure: reads the packet's own slice."""
+
+        def probe(coord: Coord, direction: Tuple[int, int]) -> Tuple[int, int]:
+            return self.adaptive_vc_state(direction, packet.slice_index)
+
+        return probe
 
     def _note_torus_hop(self, packet: Packet,
                         direction: Tuple[int, int]) -> None:

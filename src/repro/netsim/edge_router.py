@@ -47,11 +47,13 @@ def compact_direction_rows() -> Dict[Tuple[int, int], int]:
 
 
 def edge_vc(packet: Packet) -> int:
-    """Edge-network VC for a packet (4 request VCs + 1 response VC).
+    """Edge-network VC for a packet (4 escape/request VCs + 1 response
+    VC + 1 adaptive VC).
 
     Requests carry their phase/dateline VC (``request_vc`` reads the
-    state :func:`repro.routing.note_hop` maintains) through the edge
-    mesh and onto the channel; responses always ride the response VC.
+    state :func:`repro.routing.note_hop` maintains — or the adaptive VC
+    when the per-hop chooser won one) through the edge mesh and onto
+    the channel; responses always ride the response VC.
     """
     if packet.traffic_class is TrafficClass.RESPONSE:
         return RESPONSE_VC
@@ -176,12 +178,16 @@ class EdgeNetwork:
 
     def __init__(self, sim: Simulator, side: str, node_tag: str,
                  params: LatencyParams, rows: int = 12,
-                 credit_flits: int = 8, vcs: int = 5,
+                 credit_flits: int = 8, vcs: Optional[int] = None,
                  direction_rows: Optional[Dict[Tuple[int, int], int]] = None) -> None:
         self._sim = sim
         self.side = side
         self.rows = rows
         self._params = params
+        # Full link VC budget (escape + response + adaptive) unless the
+        # caller narrows it: packets keep their VC across the edge mesh.
+        vcs = params.link_vcs if vcs is None else vcs
+        self.vcs = vcs
         if direction_rows is None:
             direction_rows = (DIRECTION_ROWS if rows >= 10
                               else compact_direction_rows())
@@ -213,10 +219,11 @@ class EdgeNetwork:
         return self.routers[(col, row)]
 
     def attach_ra(self, row: int, ra: RowAdapter,
-                  vcs: int = 5, credit_flits: int = 8) -> None:
+                  vcs: Optional[int] = None, credit_flits: int = 8) -> None:
         """Wire a Row Adapter to the inner column at ``row`` (both ways)."""
         inner = self.routers[(0, row)]
         params = self._params
+        vcs = self.vcs if vcs is None else vcs
         to_edge = Link(self._sim, f"{ra.name}->edge", latency_ns=0.0,
                        ser_ns_per_flit=params.cycle_ns, vcs=vcs,
                        credit_flits=credit_flits,
@@ -229,11 +236,12 @@ class EdgeNetwork:
         inner.add_output("RA", to_ra)
 
     def attach_ca(self, ca: ChannelAdapter,
-                  vcs: int = 5, credit_flits: int = 8) -> None:
+                  vcs: Optional[int] = None, credit_flits: int = 8) -> None:
         """Wire a Channel Adapter to the outer column at its row."""
         row = self.direction_rows[ca.direction]
         outer = self.routers[(OUTER_COL, row)]
         params = self._params
+        vcs = self.vcs if vcs is None else vcs
         port = f"CA:{direction_name(ca.direction)}"
         to_ca = Link(self._sim, f"{outer.name}->{port}", latency_ns=0.0,
                      ser_ns_per_flit=params.cycle_ns, vcs=vcs,

@@ -67,6 +67,7 @@ class Link:
         self._next_vc = 0  # round-robin arbitration pointer
         self.packets_sent = 0
         self.flits_sent = 0
+        self.packets_sent_by_vc = [0] * vcs
         self.busy_ns = 0.0
 
     def send(self, packet: Packet, vc: int,
@@ -110,6 +111,7 @@ class Link:
             self.busy_ns += ser
             self.packets_sent += 1
             self.flits_sent += head.packet.num_flits
+            self.packets_sent_by_vc[vc] += 1
             if head.on_accept is not None:
                 head.on_accept()
             arrival = self._busy_until + self.latency_ns
@@ -120,6 +122,26 @@ class Link:
     @property
     def queued(self) -> int:
         return sum(len(queue) for queue in self._queues)
+
+    # -- per-VC visibility (adaptive routing's credit/occupancy probe) ----
+
+    def vc_credits(self, vc: int) -> int:
+        """Downstream input-queue credits currently held for ``vc``."""
+        return self._credits[vc]
+
+    def queued_on(self, vc: int) -> int:
+        """Packets waiting locally on ``vc``'s send queue."""
+        return len(self._queues[vc])
+
+    def queued_flits_on(self, vc: int) -> int:
+        """Flits waiting locally on ``vc``'s send queue.
+
+        ``vc_credits(vc) - queued_flits_on(vc)`` is the headroom the
+        per-hop adaptive chooser (:mod:`repro.routing.escape`) scores:
+        credits not yet spoken for by packets already committed to the
+        VC.
+        """
+        return sum(item.packet.num_flits for item in self._queues[vc])
 
 
 @dataclass

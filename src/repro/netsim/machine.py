@@ -68,7 +68,7 @@ class NetworkMachine:
                         f"chan{coord}->{neighbor_coord}[{axis},{sign}]s{slice_index}",
                         latency_ns=params.channel_hop_ns,
                         ser_ns_per_flit=params.flit_serialization_ns,
-                        vcs=5, credit_flits=8,
+                        vcs=params.link_vcs, credit_flits=8,
                         deliver=lambda p, v, l, ca=ca_in: ca.receive(
                             p, v, "channel", l))
                     chip.attach_channel((axis, sign), slice_index, link)
@@ -242,3 +242,19 @@ class NetworkMachine:
                 if link is not None:
                     total += link.flits_sent
         return total
+
+    def channel_vc_packets(self) -> List[int]:
+        """Packets that crossed inter-node channels, per link VC.
+
+        The escape/adaptive accounting view: indices follow the link VC
+        map (escape VCs 0-3, response VC 4, adaptive VC 5), so tests can
+        assert which layers actually carried traffic under a policy.
+        """
+        totals = [0] * self.params.link_vcs
+        for chip in self.chips.values():
+            for ca in chip.channel_adapters.values():
+                link = ca.output_or_none("channel")
+                if link is not None:
+                    for vc, count in enumerate(link.packets_sent_by_vc):
+                        totals[vc] += count
+        return totals

@@ -91,10 +91,15 @@ class Packet:
     # injection (repro.routing); packets built without one fall back to
     # a single minimal phase over ``dim_order``.  ``route_axis`` and
     # ``crossed_dateline`` are the per-ring dateline VC discipline,
-    # maintained hop by hop via repro.routing.note_hop.
+    # maintained hop by hop via repro.routing.note_hop.  ``on_escape``
+    # and ``misroutes`` are the adaptive-escape layer state
+    # (repro.routing.escape): which VC layer the current hop rides, and
+    # how much of the per-packet misroute budget is spent.
     route: Optional["object"] = None
     route_axis: Optional[int] = None
     crossed_dateline: bool = False
+    on_escape: bool = False
+    misroutes: int = 0
 
     # Bookkeeping.
     injected_ns: Optional[float] = None
@@ -139,17 +144,34 @@ def request_vc(packet: Packet,
                crossed_dateline: Optional[bool] = None) -> int:
     """Request-class VC assignment.
 
-    Four request VCs exist (Section III-B2).  We split them by routing
-    phase (VC class 0/1 — Valiant's two minimal phases ride disjoint
-    classes) and by dateline status within the phase — the standard
-    torus deadlock-avoidance scheme the paper's VC budget implies.  By
+    Four *escape* request VCs exist (Section III-B2).  We split them by
+    routing phase (VC class 0/1 — Valiant's two minimal phases ride
+    disjoint classes) and by dateline status within the phase —
+    ``request_vc == 2 * vc_class + dateline``, the standard torus
+    deadlock-avoidance scheme the paper's VC budget implies.  By
     default the packet's own dateline state (maintained by
     :func:`repro.routing.note_hop`) decides; passing ``crossed_dateline``
     pins it for tests.
+
+    Packets whose :class:`~repro.routing.policy.RoutePlan` is marked
+    adaptive ride :data:`ADAPTIVE_VC` instead on every hop where the
+    per-hop chooser (:mod:`repro.routing.escape`) won an adaptive VC;
+    when it fell back (``packet.on_escape``), the escape map above
+    applies unchanged — that fallback always being available is the
+    Duato deadlock-freedom argument.
     """
+    plan = packet.route
+    if (plan is not None and getattr(plan, "adaptive", False)
+            and not packet.on_escape):
+        return ADAPTIVE_VC
     if crossed_dateline is None:
         crossed_dateline = packet.crossed_dateline
     return 2 * packet.vc_class + (1 if crossed_dateline else 0)
 
 
+#: The link VC map: four dateline-disciplined escape/request VCs, one
+#: response VC, one adaptive VC (repro.routing.escape).
+ESCAPE_VCS = (0, 1, 2, 3)
 RESPONSE_VC = 4  # the single response-class VC (Section III-B2)
+ADAPTIVE_VC = 5  # the per-hop adaptive request VC (Duato's adaptive layer)
+NUM_LINK_VCS = 6

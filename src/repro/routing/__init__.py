@@ -20,6 +20,10 @@ Policies:
   intermediate node, on disjoint VC classes.
 * ``adaptive-lite`` — the least-congested minimal order at injection,
   judged from local channel occupancy; ties break randomly.
+* ``adaptive-escape`` — true per-hop adaptivity: any productive
+  direction chosen per hop from downstream adaptive-VC credit and
+  occupancy, a capped misroute budget, and a Duato-style fallback onto
+  the dateline-disciplined escape VCs (:mod:`repro.routing.escape`).
 
 Quick use::
 
@@ -38,6 +42,12 @@ from typing import Tuple
 
 from ..topology.torus import Torus3D
 from .adaptive import AdaptiveLitePolicy
+from .escape import (
+    AdaptiveEscapePolicy,
+    AdaptiveVcProbe,
+    DEFAULT_MISROUTE_BUDGET,
+    adaptive_escape_direction,
+)
 from .oblivious import FixedXYZPolicy, RandomizedMinimalPolicy
 from .policy import (
     CongestionProbe,
@@ -53,8 +63,11 @@ from .policy import (
 from .valiant import ValiantPolicy
 
 __all__ = [
+    "AdaptiveEscapePolicy",
     "AdaptiveLitePolicy",
+    "AdaptiveVcProbe",
     "CongestionProbe",
+    "DEFAULT_MISROUTE_BUDGET",
     "DEFAULT_POLICY",
     "FixedXYZPolicy",
     "POLICY_NAMES",
@@ -64,6 +77,7 @@ __all__ = [
     "RoutePlan",
     "RoutingPolicy",
     "ValiantPolicy",
+    "adaptive_escape_direction",
     "make_policy",
     "next_request_direction",
     "note_hop",
@@ -77,6 +91,7 @@ _FACTORIES = {
     RandomizedMinimalPolicy.name: RandomizedMinimalPolicy,
     ValiantPolicy.name: ValiantPolicy,
     AdaptiveLitePolicy.name: AdaptiveLitePolicy,
+    AdaptiveEscapePolicy.name: AdaptiveEscapePolicy,
 }
 
 POLICY_NAMES: Tuple[str, ...] = tuple(sorted(_FACTORIES))

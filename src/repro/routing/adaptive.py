@@ -15,6 +15,12 @@ chip's channel adapters, both slices); the least-congested first hop
 wins, and ties — the common case on an idle machine — are broken
 uniformly at random so the policy degrades gracefully to randomized
 minimal under zero load.
+
+Invariants tests rely on: plans are single-phase minimal (length equals
+``torus.min_hops``) on the escape request VCs with the per-source VC
+class spread, and the per-hop walker never consults the adaptive probe
+for them (``adaptive=False``) — true per-hop adaptivity lives in
+:mod:`repro.routing.escape` instead.
 """
 
 from __future__ import annotations

@@ -8,6 +8,14 @@ fix.  ``randomized-minimal`` is Section III-B2's choice: one of the six
 orders uniformly at random per packet, independent of network state —
 the repository's default and, before this subsystem existed, its only
 behavior.
+
+Invariants tests rely on: both policies emit exactly one minimal phase
+(route length equals ``torus.min_hops``), their hops ride the escape
+request VCs (``request_vc == 2 * vc_class + dateline``; fixed-xyz pins
+class 0, randomized-minimal spreads class per source GC), and
+``randomized-minimal`` draws exactly one ``rng.choice`` per plan —
+reproducing the pre-subsystem RNG stream draw for draw, which is what
+keeps the fig5/fig11 results unchanged.
 """
 
 from __future__ import annotations

@@ -26,9 +26,21 @@ class 0 channels to class 1 channels — the phase graph is acyclic.
 Responses never enter this module: they stay mesh-restricted XYZ on the
 dedicated response VC (:mod:`repro.netsim.chip` keeps that invariant).
 
-Policies must be deterministic functions of ``(src, dst, rng draws,
-congestion observations)`` so runner sweeps stay byte-identical across
-process fan-out; all randomness comes from the caller-provided ``rng``.
+Invariants tests (and the cache-versioned experiments) rely on:
+
+* ``request_vc == 2 * vc_class + dateline`` — the escape/request VC map
+  (:func:`repro.netsim.packet.request_vc`); plans marked ``adaptive``
+  additionally ride the dedicated adaptive VC
+  (:data:`repro.netsim.packet.ADAPTIVE_VC`) on hops where they won it,
+  and fall back to exactly this escape map otherwise.
+* Response packets never carry a :class:`RoutePlan`: they are forced
+  XYZ, mesh-restricted, on the single response VC.
+* A policy's ``make_plan`` is a deterministic function of ``(src, dst,
+  rng draws, congestion observations)``, and the per-hop walker draws
+  only from the caller-provided ``rng``/``probe`` — so runner sweeps
+  stay byte-identical across process fan-out.
+* Per-hop adaptivity lives in :mod:`repro.routing.escape`; plans with
+  ``adaptive=False`` never consult the probe and never misroute.
 """
 
 from __future__ import annotations
@@ -105,11 +117,22 @@ class RoutePlan:
     ``phase_index`` is the only mutable field: it advances as the packet
     reaches intermediate phase targets.  The final phase's target is the
     packet's destination.
+
+    ``adaptive`` marks the plan for per-hop re-selection
+    (:mod:`repro.routing.escape`): the phase's ``dim_order``/``vc_class``
+    then describe the *escape* route — the deterministic dimension-order
+    leg the packet falls back to whenever it cannot win an adaptive VC —
+    and ``max_misroutes`` caps the non-minimal adaptive hops the packet
+    may take over its lifetime (``None`` disables the cap, which
+    sacrifices livelock freedom and exists only so tests can prove the
+    cap matters).
     """
 
     policy: str
     phases: Tuple[RoutePhase, ...]
     phase_index: int = 0
+    adaptive: bool = False
+    max_misroutes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -151,14 +174,20 @@ class RoutingPolicy:
 # ---------------------------------------------------------------------------
 
 
-def next_request_direction(packet, coord: Coord,
-                           torus: Torus3D) -> Optional[Tuple[int, int]]:
+def next_request_direction(packet, coord: Coord, torus: Torus3D,
+                           probe=None, rng=None) -> Optional[Tuple[int, int]]:
     """The request packet's next torus direction from ``coord``.
 
     Resolves the current phase of ``packet.route`` (falling back to a
     single minimal phase over ``packet.dim_order`` for packets built
     without a plan), advancing phases whose targets are reached.
     Returns ``None`` at the final destination.
+
+    Plans marked ``adaptive`` are re-evaluated here at every hop:
+    ``probe`` is the router's per-direction adaptive-VC state oracle
+    (:data:`repro.routing.escape.AdaptiveVcProbe`) and ``rng`` breaks
+    score ties; both are ignored by non-adaptive plans, so the RNG
+    streams of the oblivious policies are untouched by their presence.
     """
     plan: Optional[RoutePlan] = getattr(packet, "route", None)
     if plan is None:
@@ -171,6 +200,11 @@ def next_request_direction(packet, coord: Coord,
         # class; dateline state restarts with it.
         packet.route_axis = None
         packet.crossed_dateline = False
+    if plan.adaptive:
+        from .escape import adaptive_escape_direction
+
+        return adaptive_escape_direction(packet, coord, torus,
+                                         probe=probe, rng=rng)
     phase = plan.current
     return _minimal_direction(coord, phase.target, phase.dim_order, torus)
 
@@ -217,14 +251,18 @@ class RouteHop:
 
 
 def trace_route(packet, torus: Torus3D,
-                max_hops: Optional[int] = None) -> Tuple[List[RouteHop], Coord]:
+                max_hops: Optional[int] = None,
+                probe=None, rng=None) -> Tuple[List[RouteHop], Coord]:
     """Walk a request packet's route hop by hop, without a simulator.
 
     Applies exactly the per-hop machinery the chips use
     (:func:`next_request_direction` + :func:`note_hop` + the VC
     assignment), so tests can assert route shape, length, and VC
-    discipline offline.  Returns ``(hops, final_coord)``; raises
-    ``RuntimeError`` if the walk exceeds ``max_hops`` (a routing cycle).
+    discipline offline.  ``probe``/``rng`` feed the per-hop chooser of
+    adaptive plans (an always-congested probe is how the livelock tests
+    drive uncapped misrouting).  Returns ``(hops, final_coord)``; raises
+    ``RuntimeError`` if the walk exceeds ``max_hops`` (a routing cycle,
+    or a livelocked adaptive walk).
     """
     from ..netsim.packet import TrafficClass, request_vc
 
@@ -235,7 +273,8 @@ def trace_route(packet, torus: Torus3D,
     coord = torus.normalize(packet.src_node)
     hops: List[RouteHop] = []
     while True:
-        direction = next_request_direction(packet, coord, torus)
+        direction = next_request_direction(packet, coord, torus,
+                                           probe=probe, rng=rng)
         if direction is None:
             return hops, coord
         note_hop(packet, coord, direction, torus)

@@ -170,7 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments and named sweeps")
+    list_parser = sub.add_parser("list", help="list experiments and named sweeps")
+    list_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the full experiment catalog as Markdown "
+        "(the generator behind docs/experiments.md)",
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment configuration")
     run_parser.add_argument("experiment", help="registered experiment name")
@@ -268,7 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.markdown:
+        from .catalog import catalog_markdown
+
+        sys.stdout.write(catalog_markdown())
+        return 0
     from .experiments import BUILTIN_SWEEPS
 
     print("experiments:")
@@ -495,7 +506,15 @@ def _render_plots(
                 file=sys.stderr,
             )
             continue
-        chart = ascii_chart(series, x_label=x, y_label=y, title=label)
+        chart = ascii_chart(
+            series,
+            x_label=x,
+            y_label=y,
+            title=label,
+            # --plot-by always gets its legend line, even when the
+            # grouping collapses to a single (possibly unnamed) series.
+            force_legend=plot_by is not None,
+        )
         print(chart, file=sys.stderr)
         print(file=sys.stderr)
 
@@ -504,7 +523,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":

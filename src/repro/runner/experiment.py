@@ -27,7 +27,9 @@ class Experiment:
     so stale cache entries stop matching.  ``param_names`` declares the
     parameter names ``fn`` accepts (the built-in wrappers hide their
     surface's signature behind ``**params``) so overrides can be
-    validated up front; ``None`` disables validation.
+    validated up front; ``None`` disables validation.  ``surface``
+    names the underlying run-surface function (dotted path) for the
+    generated experiment catalog (``repro-runner list --markdown``).
     """
 
     name: str
@@ -37,6 +39,7 @@ class Experiment:
     version: int = 1
     smoke_grid: Optional[ParameterGrid] = None
     param_names: Optional[Tuple[str, ...]] = None
+    surface: str = ""
 
     def run(self, params: Mapping[str, object]) -> dict:
         """Execute one configuration."""

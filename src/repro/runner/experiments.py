@@ -93,6 +93,7 @@ register(
         smoke_grid=FIG5_SMOKE_GRID,
         description="One-way end-to-end latency vs inter-node hops (Figure 5)",
         version=2,  # v2: results gained per-hop percentile summaries
+        surface="repro.netsim.surface.measure_latency_curve",
         param_names=(
             "dims",
             "chip_cols",
@@ -121,6 +122,7 @@ register(
             }
         ),
         description="Best-placement minimum single-hop latency (~55 ns)",
+        surface="repro.netsim.surface.measure_min_one_hop",
         param_names=(
             "dims",
             "chip_cols",
@@ -155,6 +157,7 @@ register(
         grid=FIG11_GRID,
         smoke_grid=FIG11_SMOKE_GRID,
         description="Network-fence barrier latency vs hop count (Figure 11)",
+        surface="repro.fence.surface.measure_fence_curve",
         param_names=(
             "dims",
             "chip_cols",
@@ -186,6 +189,7 @@ register(
         grid=FIG9_GRID,
         smoke_grid=FIG9_SMOKE_GRID,
         description="Water-box traffic reduction and speedup (Figures 9a/9b)",
+        surface="repro.fullsim.surface.evaluate_water_system",
         param_names=(
             "n_atoms",
             "steps",
@@ -280,7 +284,10 @@ register(
         smoke_grid=LOAD_SWEEP_SMOKE_GRID,
         description="Open-loop synthetic-traffic load point "
         "(latency vs offered load)",
-        version=2,  # v2: routing-policy VC discipline + routing field
+        # v3: adaptive-escape routing + the six-VC link map (escape /
+        # response / adaptive split).
+        version=3,
+        surface="repro.traffic.surface.measure_load_point",
         param_names=LOAD_POINT_PARAMS,
     )
 )
@@ -302,6 +309,7 @@ ROUTE_ABLATION_POLICIES = (
     "randomized-minimal",
     "valiant",
     "adaptive-lite",
+    "adaptive-escape",
 )
 
 #: The PR-2 adversarial patterns each ablation drives to saturation.
@@ -341,7 +349,7 @@ ROUTE_ABLATION_SMOKE_GRID = ParameterGrid(
         "chip_cols": 6,
         "chip_rows": 6,
         "pattern": "uniform",
-        "routing": ["randomized-minimal", "valiant"],
+        "routing": ["randomized-minimal", "valiant", "adaptive-escape"],
         "offered_load": [0.05, 0.2, 0.4],
         "machine_seed": 7,
         "traffic_seed": 11,
@@ -358,6 +366,8 @@ register(
         smoke_grid=ROUTE_ABLATION_SMOKE_GRID,
         description="Open-loop load point under a chosen routing policy "
         "(routing ablations)",
+        version=2,  # v2: adaptive-escape routing + the six-VC link map
+        surface="repro.traffic.surface.measure_load_point",
         param_names=LOAD_POINT_PARAMS,
     )
 )
@@ -406,7 +416,7 @@ CLOSED_LOOP_SMOKE_GRID = ParameterGrid(
         "chip_cols": 6,
         "chip_rows": 6,
         "pattern": "uniform",
-        "routing": ["randomized-minimal", "valiant"],
+        "routing": ["randomized-minimal", "valiant", "adaptive-escape"],
         "window": [1, 4],
         "machine_seed": 7,
         "workload_seed": 11,
@@ -441,6 +451,8 @@ register(
         smoke_grid=CLOSED_LOOP_SMOKE_GRID,
         description="Closed-loop fixed-outstanding-window point "
         "(throughput/latency vs window)",
+        version=2,  # v2: adaptive-escape routing + the six-VC link map
+        surface="repro.workload.surface.measure_window_point",
         param_names=WINDOW_POINT_PARAMS,
     )
 )
@@ -523,6 +535,8 @@ register(
         smoke_grid=PHASE_LOOP_SMOKE_GRID,
         description="Fence-synchronized phase workload "
         "(MD-timestep iteration time per routing policy)",
+        version=2,  # v2: adaptive-escape routing + the six-VC link map
+        surface="repro.workload.surface.measure_phase_loop",
         param_names=PHASE_LOOP_PARAMS,
     )
 )
@@ -564,6 +578,41 @@ SCALING_512_LATENCY_GRID = ParameterGrid(
     }
 )
 
+#: Adaptive-escape at 512-node scale: closed-loop window points and one
+#: fenced phase loop on the 8x8x8 torus, each ablated against the
+#: paper's randomized-minimal baseline.  Short measure windows keep one
+#: point tractable (a 512-chip machine is ~100x the default build);
+#: these sweeps are CLI-driven, not part of tier-1.
+SCALING_512_CLOSED_LOOP_GRID = ParameterGrid(
+    {
+        "dims": [(8, 8, 8)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "neighbor",
+        "routing": ["randomized-minimal", "adaptive-escape"],
+        "window": [1, 4],
+        "machine_seed": 9,
+        "workload_seed": 13,
+        "warmup_ns": 200.0,
+        "measure_ns": 800.0,
+    }
+)
+
+SCALING_512_PHASE_LOOP_GRID = ParameterGrid(
+    {
+        "dims": [(8, 8, 8)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "halo",
+        "routing": ["randomized-minimal", "adaptive-escape"],
+        "messages_per_node": 4,
+        "window": 2,
+        "iterations": 1,
+        "machine_seed": 9,
+        "workload_seed": 13,
+    }
+)
+
 # ---------------------------------------------------------------------------
 # Named sweeps: what the benchmarks and the CLI actually run.
 # ---------------------------------------------------------------------------
@@ -577,6 +626,16 @@ SCALING_512_FENCE_SWEEP = Sweep(
 SCALING_512_LATENCY_SWEEP = Sweep(
     "fig5_latency", SCALING_512_LATENCY_GRID, label="scaling-512-latency"
 )
+SCALING_512_CLOSED_LOOP_SWEEP = Sweep(
+    "closed_loop",
+    SCALING_512_CLOSED_LOOP_GRID,
+    label="scaling-512-closed-loop-adaptive",
+)
+SCALING_512_PHASE_LOOP_SWEEP = Sweep(
+    "phase_loop",
+    SCALING_512_PHASE_LOOP_GRID,
+    label="scaling-512-phase-loop-adaptive",
+)
 
 BUILTIN_SWEEPS = {
     sweep.name: sweep
@@ -586,6 +645,8 @@ BUILTIN_SWEEPS = {
         FIG11_SWEEP,
         SCALING_512_FENCE_SWEEP,
         SCALING_512_LATENCY_SWEEP,
+        SCALING_512_CLOSED_LOOP_SWEEP,
+        SCALING_512_PHASE_LOOP_SWEEP,
         *LOAD_SWEEPS.values(),
         *ROUTE_ABLATIONS.values(),
         *CLOSED_LOOP_SWEEPS.values(),

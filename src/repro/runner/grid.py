@@ -68,5 +68,15 @@ class ParameterGrid:
             merged.update(axes)
         return merged
 
+    def subgrids(self) -> List[Dict[str, List[object]]]:
+        """The expanded per-subgrid axes (one mapping per union member).
+
+        Single-mapping grids return a one-element list; display code
+        (the experiment catalog) uses this to tell apart axes that are
+        genuinely swept from axes that merely differ between union
+        members.
+        """
+        return [dict(axes) for axes in self._subgrids]
+
     def __repr__(self) -> str:
         return f"ParameterGrid({self._subgrids!r})"

@@ -21,7 +21,15 @@ way applications do — closed-loop:
 
 Both compose with every routing policy and run through the parallel
 runner as registered ``closed-loop-<pattern>`` / ``phase-loop-<pattern>``
-sweeps (:mod:`repro.runner.experiments`).
+sweeps (:mod:`repro.runner.experiments`), including the 512-node
+adaptive-escape ablations (``scaling-512-closed-loop-adaptive``,
+``scaling-512-phase-loop-adaptive``).
+
+Invariants tests rely on (details in the submodule docstrings): writes
+complete at destination commit and reads on response return keyed by
+``(node, reply quad)`` with reply quads recycled on completion; at most
+``window`` transactions in flight per node; all randomness from
+``derive_seed`` streams so sweeps are byte-identical across ``--jobs``.
 
 Quick use::
 

@@ -17,6 +17,20 @@ the per-phase split between burst transport and fence synchronization,
 per-node finish-time spread (load imbalance the fence converts into
 wait), and the fence-wait fraction — the share of the iteration a
 typical node spends synchronized-but-idle rather than moving payload.
+
+Invariants tests (and the cache-versioned experiments) rely on:
+
+* A phase's fence is issued only after every node's burst completed
+  (all transactions delivered, per :class:`ClosedLoopDriver`'s
+  completion rules), and the next phase starts only after the fence
+  clears — phases never overlap on the wire.
+* Fences run on the real :class:`~repro.fence.engine.FenceEngine`
+  (no analytic shortcut), so fence time responds to routing policy and
+  congestion exactly like Figure 11 does.
+* Burst transactions complete under the same write-at-commit /
+  read-at-response rules (and reply-quad recycling) as the window
+  harness; iteration time is the fence-to-fence wall time, never a sum
+  of per-node times.
 """
 
 from __future__ import annotations

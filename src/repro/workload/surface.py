@@ -7,6 +7,14 @@ throughput-vs-window curve (the ``closed-loop-*`` sweeps fan the window
 axis out across workers); one :func:`measure_phase_loop` call is one
 fence-synchronized phase-workload configuration (the ``phase-loop-*``
 sweeps fan the routing-policy axis out).
+
+Invariant: these functions are pure in ``(params,)`` — fresh machine,
+fresh derived RNG streams, no module state — which is what makes their
+results content-addressable by config digest and byte-identical across
+``--jobs 1`` vs ``--jobs N``.  The ``routing`` parameter accepts every
+registered policy name (:data:`repro.routing.POLICY_NAMES`), including
+``adaptive-escape``; changing what a value means requires a version
+bump on the registered experiment.
 """
 
 from __future__ import annotations

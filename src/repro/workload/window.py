@@ -23,6 +23,22 @@ discipline, and accepted throughput uses the same normalization
 (request flits delivered in the measure window over per-slice channel
 capacity), so closed-loop plateaus are directly comparable to open-loop
 saturation throughputs for the same (pattern, routing).
+
+Invariants tests (and the cache-versioned experiments) rely on:
+
+* A write transaction completes at its destination SRAM commit (matched
+  by packet ``pid``); a read transaction completes when its response
+  lands back at the requester, matched by ``(node, reply quad)``.
+* Reply quads are allocated per node and **recycled on completion** —
+  the in-flight set per node is bounded by the window, so quad ids
+  never grow without bound and re-use cannot collide while a read is
+  outstanding.
+* Every node holds exactly ``window`` transactions in flight outside
+  think time; ``outstanding`` never exceeds it, and the drain phase
+  ends with zero in flight (``NetworkMachine.in_flight_counts``).
+* All randomness (destination picks, read/write mix, think times)
+  draws from ``derive_seed``-derived per-node streams, so runs are
+  byte-identical across processes for a given seed.
 """
 
 from __future__ import annotations

@@ -12,10 +12,11 @@ import random
 import pytest
 
 from repro.netsim import CoreAddress, NetworkMachine, PacketKind, TrafficClass
-from repro.netsim.packet import Packet, request_vc
+from repro.netsim.packet import ADAPTIVE_VC, Packet, request_vc
 from repro.routing import (
     DEFAULT_POLICY,
     POLICY_NAMES,
+    AdaptiveEscapePolicy,
     RoutePhase,
     RoutePlan,
     RoutingPolicy,
@@ -81,7 +82,7 @@ class TestRouteShape:
 
     @pytest.mark.parametrize("name",
                              ["fixed-xyz", "randomized-minimal",
-                              "adaptive-lite"])
+                              "adaptive-lite", "adaptive-escape"])
     def test_minimal_policies_take_minimal_routes(self, torus, name):
         policy = make_policy(name, torus)
         rng = random.Random(11)
@@ -186,6 +187,199 @@ class TestAdaptiveLite:
         machine = NetworkMachine(dims=(2, 1, 1), chip_cols=6, chip_rows=6,
                                  seed=3, routing="adaptive-lite")
         assert machine._channel_congestion((0, 0, 0), (0, 1)) == 0.0
+
+
+def free_probe(coord, direction):
+    """Every adaptive VC has full credit and an empty queue."""
+    return (8, 0)
+
+
+def blocked_probe(coord, direction):
+    """No adaptive VC anywhere has credit: everything escapes."""
+    return (0, 0)
+
+
+class TestAdaptiveEscape:
+    """Per-hop adaptivity, misroute budget, and the escape fallback."""
+
+    def plan(self, torus, src, dst, max_misroutes=4):
+        policy = AdaptiveEscapePolicy(torus, max_misroutes=max_misroutes)
+        return policy.make_plan(src, dst, random.Random(1))
+
+    def test_plan_is_adaptive_with_xyz_escape_order(self, torus):
+        plan = self.plan(torus, (0, 0, 0), (1, 1, 1))
+        assert plan.adaptive
+        assert plan.max_misroutes == 4
+        assert plan.phases[0].dim_order == (0, 1, 2)
+
+    def test_uncongested_hops_win_the_adaptive_vc(self, torus):
+        packet = request_packet((0, 0, 0), (1, 1, 1),
+                                self.plan(torus, (0, 0, 0), (1, 1, 1)))
+        direction = next_request_direction(packet, (0, 0, 0), torus,
+                                           probe=free_probe)
+        assert direction in [(0, 1), (1, 1), (2, 1)]
+        assert not packet.on_escape
+        assert request_vc(packet) == ADAPTIVE_VC
+
+    def test_avoids_the_congested_productive_direction(self, torus):
+        def x_blocked(coord, direction):
+            return (0, 0) if direction[0] == 0 else (8, 0)
+
+        packet = request_packet((0, 0, 0), (1, 1, 1),
+                                self.plan(torus, (0, 0, 0), (1, 1, 1)))
+        rng = random.Random(2)
+        chosen = set()
+        for __ in range(20):
+            direction = next_request_direction(packet, (0, 0, 0), torus,
+                                               probe=x_blocked, rng=rng)
+            assert direction[0] != 0
+            assert not packet.on_escape
+            chosen.add(direction)
+        # The tie really is broken over every free candidate, not
+        # pinned to whichever one the first draw happened to pick.  On
+        # the 2-node Z ring the offset is a half-ring tie, so both Z
+        # rotations are productive alongside +Y.
+        assert chosen == {(1, 1), (2, 1), (2, -1)}
+
+    def test_half_ring_tie_makes_both_rotations_productive(self):
+        ring = Torus3D((8, 1, 1))
+        # dst is exactly half way: +X congested, so -X (equally minimal)
+        # must win — the per-hop load balance tornado traffic needs.
+        def plus_x_blocked(coord, direction):
+            return (0, 0) if direction == (0, 1) else (8, 0)
+
+        packet = request_packet((0, 0, 0), (4, 0, 0),
+                                self.plan(ring, (0, 0, 0), (4, 0, 0)))
+        direction = next_request_direction(packet, (0, 0, 0), ring,
+                                           probe=plus_x_blocked)
+        assert direction == (0, -1)
+        assert not packet.on_escape
+
+    def test_blocked_adaptive_vcs_fall_back_to_escape_dor(self, torus):
+        packet = request_packet((0, 0, 0), (1, 1, 1),
+                                self.plan(torus, (0, 0, 0), (1, 1, 1)))
+        hops, final = trace_route(packet, torus, probe=blocked_probe)
+        assert final == (1, 1, 1)
+        assert [hop.direction[0] for hop in hops] == [0, 1, 2]  # escape XYZ
+        assert packet.on_escape
+        assert packet.misroutes == 0
+        assert all(hop.vc in (0, 1, 2, 3) for hop in hops)
+
+    def test_probe_less_walks_are_escape_minimal(self, torus):
+        packet = request_packet((2, 1, 0), (0, 2, 1),
+                                self.plan(torus, (2, 1, 0), (0, 2, 1)))
+        hops, final = trace_route(packet, torus)
+        assert final == (0, 2, 1)
+        assert len(hops) == torus.min_hops((2, 1, 0), (0, 2, 1))
+
+    def test_misroute_spends_budget_on_a_nonminimal_hop(self):
+        torus = Torus3D((5, 5, 1))
+        # Productive (+X) blocked, the -X detour free: the packet pays
+        # one budget unit to step away from its minimal path.
+        def productive_blocked(coord, direction):
+            offsets = torus.offsets(coord, (2, 0, 0))
+            axis, sign = direction
+            productive = offsets[axis] and (
+                (offsets[axis] > 0) == (sign > 0))
+            return (0, 0) if productive else (8, 0)
+
+        packet = request_packet((1, 0, 0), (2, 0, 0),
+                                self.plan(torus, (1, 0, 0), (2, 0, 0)))
+        direction = next_request_direction(packet, (1, 0, 0), torus,
+                                           probe=productive_blocked,
+                                           rng=random.Random(3))
+        assert direction == (0, -1)
+        assert packet.misroutes == 1
+        assert not packet.on_escape
+
+    def test_misroutes_never_cross_the_dateline(self):
+        ring = Torus3D((5, 1, 1))
+        # At x=0 the only detour (-X) is the wrap link; with +X blocked
+        # the packet must escape instead of misrouting across it.
+        def plus_x_blocked(coord, direction):
+            return (0, 0) if direction == (0, 1) else (8, 0)
+
+        packet = request_packet((0, 0, 0), (2, 0, 0),
+                                self.plan(ring, (0, 0, 0), (2, 0, 0)))
+        direction = next_request_direction(packet, (0, 0, 0), ring,
+                                           probe=plus_x_blocked)
+        assert direction == (0, 1)
+        assert packet.on_escape
+        assert packet.misroutes == 0
+
+    def test_capped_misrouting_terminates(self):
+        torus = Torus3D((5, 5, 1))
+        # Adversarial probe: productive always blocked, detours always
+        # free — the walk ping-pongs on misroutes until the budget runs
+        # out, then the escape layer carries it home.
+        def adversarial(coord, direction):
+            offsets = torus.offsets(coord, (2, 1, 0))
+            axis, sign = direction
+            productive = offsets[axis] and (
+                (offsets[axis] > 0) == (sign > 0))
+            return (0, 0) if productive else (8, 0)
+
+        packet = request_packet((0, 0, 0), (2, 1, 0),
+                                self.plan(torus, (0, 0, 0), (2, 1, 0)))
+        hops, final = trace_route(packet, torus, probe=adversarial,
+                                  rng=random.Random(5))
+        assert final == (2, 1, 0)
+        assert packet.misroutes == 4  # full budget spent
+        assert len(hops) <= torus.min_hops((0, 0, 0), (2, 1, 0)) + 2 * 4
+
+    def test_uncapped_misrouting_livelocks(self):
+        torus = Torus3D((5, 5, 1))
+
+        def adversarial(coord, direction):
+            offsets = torus.offsets(coord, (2, 1, 0))
+            axis, sign = direction
+            productive = offsets[axis] and (
+                (offsets[axis] > 0) == (sign > 0))
+            return (0, 0) if productive else (8, 0)
+
+        packet = request_packet(
+            (0, 0, 0), (2, 1, 0),
+            self.plan(torus, (0, 0, 0), (2, 1, 0), max_misroutes=None))
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            trace_route(packet, torus, probe=adversarial,
+                        rng=random.Random(5))
+
+    def test_machine_exposes_adaptive_vc_state(self):
+        machine = NetworkMachine(dims=(2, 1, 1), chip_cols=6, chip_rows=6,
+                                 seed=3, routing="adaptive-escape")
+        chip = machine.chip((0, 0, 0))
+        credits, queued = chip.adaptive_vc_state((0, 1), 0)
+        assert credits == 8 and queued == 0
+
+    def test_light_traffic_rides_the_adaptive_vc_only(self):
+        machine = NetworkMachine(dims=(3, 2, 2), chip_cols=6, chip_rows=6,
+                                 seed=9, routing="adaptive-escape")
+        machine.send_counted_write((0, 0, 0), CoreAddress(0, 0, 0),
+                                   (2, 1, 1), CoreAddress(1, 1, 0))
+        machine.sim.run()
+        by_vc = machine.channel_vc_packets()
+        assert by_vc[ADAPTIVE_VC] > 0
+        assert sum(by_vc[vc] for vc in (0, 1, 2, 3)) == 0
+
+    def test_wrap_storm_engages_the_escape_layer_and_drains(self):
+        # A burst far beyond the adaptive VC's eight-flit credit pool on
+        # a wrap-heavy ring: some hops must fall back to the dateline
+        # escape VCs, and everything still drains (Duato's argument,
+        # observed end to end).
+        machine = NetworkMachine(dims=(5, 1, 1), chip_cols=6, chip_rows=6,
+                                 seed=21, routing="adaptive-escape")
+        packets = []
+        for x in range(5):
+            for i in range(40):
+                packets.append(machine.send_counted_write(
+                    (x, 0, 0), CoreAddress(x, 1, 0),
+                    ((x + 2) % 5, 0, 0), CoreAddress(0, 0, 0),
+                    quad_addr=i % 8))
+        machine.sim.run()
+        assert all(p.delivered_ns is not None for p in packets)
+        by_vc = machine.channel_vc_packets()
+        assert by_vc[ADAPTIVE_VC] > 0
+        assert sum(by_vc[vc] for vc in (0, 1, 2, 3)) > 0
 
 
 class TestMachineIntegration:

@@ -390,7 +390,8 @@ class TestRouteAblation:
             [r.record() for r in parallel.runs]
         )
         routings = {r.record()["result"]["routing"] for r in serial.runs}
-        assert routings == {"randomized-minimal", "valiant"}
+        assert routings == {"randomized-minimal", "valiant",
+                            "adaptive-escape"}
 
 
 class TestSetValidation:
@@ -478,6 +479,114 @@ class TestReportPlot:
         assert code == 0
         assert "no plottable points" in capsys.readouterr().err
 
+    def test_plot_by_single_group_still_renders_legend(self, tmp_path,
+                                                       capsys):
+        # Grouping that collapses to one series must keep its legend
+        # line: the reader asked for series labels with --plot-by.
+        runs = [
+            {
+                "params": {"offered_load": load, "routing": "minimal"},
+                "result": {"lat": 100.0 + 900 * load},
+            }
+            for load in (0.1, 0.4, 0.8)
+        ]
+        payload = {"sweeps": [{"label": "solo", "runs": runs}]}
+        path = tmp_path / "solo.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        code = main(
+            ["report", "--input", str(path),
+             "--plot", "offered_load:lat", "--plot-by", "routing"]
+        )
+        assert code == 0
+        assert "* minimal" in capsys.readouterr().err
+
+    def test_force_legend_labels_a_single_unnamed_series(self):
+        # The silently-omitted case: one series whose group label is
+        # empty (e.g. --plot-by over a key that stringifies empty).
+        from repro.analysis.plot import ascii_chart
+
+        series = {"": [(0.1, 1.0), (0.4, 2.0)]}
+        without = ascii_chart(series, width=16, height=4)
+        forced = ascii_chart(series, width=16, height=4, force_legend=True)
+        assert "* (all)" not in without
+        assert "* (all)" in forced
+
+
+# ---------------------------------------------------------------------------
+# The auto-generated experiment catalog (list --markdown).
+# ---------------------------------------------------------------------------
+
+
+class TestExperimentCatalog:
+    def test_catalog_covers_every_experiment_and_sweep(self):
+        from repro.runner.catalog import catalog_markdown
+        from repro.runner.experiments import BUILTIN_SWEEPS
+
+        doc = catalog_markdown()
+        for experiment in list_experiments():
+            assert f"### `{experiment.name}` (v{experiment.version})" in doc
+            if experiment.surface:
+                assert f"`{experiment.surface}`" in doc
+        for name in BUILTIN_SWEEPS:
+            assert f"| `{name}` |" in doc
+
+    def test_catalog_is_deterministic(self):
+        from repro.runner.catalog import catalog_markdown
+
+        assert catalog_markdown() == catalog_markdown()
+
+    def test_declared_surfaces_resolve_to_callables(self):
+        # The catalog documents Experiment.surface verbatim; make sure
+        # every declared dotted path actually imports, so the committed
+        # docs can never point readers at a nonexistent function.
+        import importlib
+
+        for experiment in list_experiments():
+            if not experiment.surface:
+                continue
+            module_name, _, attr = experiment.surface.rpartition(".")
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, attr)), experiment.surface
+
+    def test_catalog_marks_union_grid_swept_axes(self):
+        # The route-ablation union grids sweep pattern/dims across their
+        # members; the catalog must report them as swept, not constants.
+        from repro.runner.catalog import catalog_markdown
+
+        doc = catalog_markdown()
+        line = next(
+            row for row in doc.splitlines()
+            if row.startswith("| `route-ablation-valiant` |")
+        )
+        assert "`pattern`" in line and "`offered_load`" in line
+
+    def test_cli_list_markdown_emits_the_catalog(self, capsys):
+        from repro.runner.catalog import catalog_markdown
+
+        assert main(["list", "--markdown"]) == 0
+        assert capsys.readouterr().out == catalog_markdown()
+
+    def test_cli_plain_list_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out and "sweeps:" in out
+        assert "route-ablation-adaptive-escape" in out
+
+    def test_committed_catalog_is_fresh(self):
+        # The doc-freshness gate, enforced in-tree as well as in CI: the
+        # committed docs/experiments.md must match the registry.
+        from pathlib import Path
+
+        from repro.runner.catalog import catalog_markdown
+
+        committed = Path(__file__).resolve().parent.parent / "docs" / \
+            "experiments.md"
+        assert committed.is_file(), "docs/experiments.md is missing"
+        assert committed.read_text(encoding="utf-8") == catalog_markdown(), (
+            "docs/experiments.md is stale; regenerate with "
+            "`repro-runner list --markdown > docs/experiments.md`"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Cache maintenance: stats and prune.
@@ -517,6 +626,34 @@ class TestCacheMaintenance:
         # The surviving entries are still servable.
         assert cache.get("fig11_fence", {"a": 1}, version=1) is not None
         assert cache.get("fig5_latency", {"b": 1}, version=99) is None
+
+    def test_prune_keeps_only_the_bumped_version_mid_directory(
+            self, tmp_path):
+        # The adaptive-escape PR bumps experiment versions while their
+        # old entries still sit in the same cache directory: prune must
+        # remove exactly the old-version entries and keep the new.
+        cache = ResultCache(tmp_path / "cache")
+        for load in (0.1, 0.4, 0.8):
+            cache.put("route_ablation", {"offered_load": load},
+                      {"r": load}, version=1)
+        cache.put("route_ablation", {"offered_load": 0.1},
+                  {"r": 0.1, "routing": "adaptive-escape"}, version=2)
+        cache.put("route_ablation", {"offered_load": 0.4},
+                  {"r": 0.4, "routing": "adaptive-escape"}, version=2)
+        outcome = cache.prune({"route_ablation": 2})
+        assert outcome == {
+            "removed": 3,
+            "kept": 2,
+            "freed_bytes": outcome["freed_bytes"],
+        }
+        assert outcome["freed_bytes"] > 0
+        for load in (0.1, 0.4, 0.8):
+            assert cache.get("route_ablation", {"offered_load": load},
+                             version=1) is None
+        assert cache.get("route_ablation", {"offered_load": 0.1},
+                         version=2) is not None
+        assert cache.get("route_ablation", {"offered_load": 0.4},
+                         version=2) is not None
 
     def test_cli_cache_stats_and_prune(self, tmp_path, capsys):
         cache = self._seeded_cache(tmp_path)
