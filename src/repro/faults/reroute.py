@@ -1,0 +1,147 @@
+"""Fault-aware rerouting: live-shortest-path tables per (slice, target).
+
+When a machine has active faults, every routing decision that would
+otherwise follow a fixed minimal dimension order instead consults a
+:class:`FaultAdviser`: a reverse-BFS distance table over the *live*
+directed channel graph of the packet's slice.  At each hop the packet
+takes any live direction that strictly decreases live-graph distance to
+its phase target — strictly decreasing distance makes the walk loop-free
+by construction, which a "detour only at the broken hop" patch is not
+(two nodes straddling a dead ring link can ping-pong forever).
+
+Which of the several distance-decreasing directions is taken stays a
+*policy* decision via :meth:`~repro.routing.policy.RoutingPolicy.
+reroute_choice`: deterministic policies (fixed-xyz) keep a deterministic
+first choice and randomized/adaptive policies spread over the options
+using the caller's rng — so degraded-mode sweeps still contrast the
+policies' load balance, not just their reachability.
+
+Tables are cached per (slice, target) and invalidated whenever the
+:class:`~repro.faults.state.FaultState` epoch moves (a flap restoring a
+cable, a timed fault firing).  Deadlock-freedom caveat: reroutes may
+cross ring datelines on dateline-disciplined VCs and responses may leave
+their mesh restriction; the simulator's finite runs tolerate this, and
+the fault experiments measure throughput degradation, not a hardware VC
+proof — documented in docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.torus import Coord, DIRECTIONS
+
+__all__ = ["FaultAdviser"]
+
+Direction = Tuple[int, int]
+
+
+class FaultAdviser:
+    """Live-graph routing oracle for one faulted machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.torus = machine.torus
+        self.state = machine.fault_state
+        self._tables: Dict[Tuple[int, Coord], Dict[Coord, int]] = {}
+        self._tables_epoch = -1
+
+    # -- liveness ---------------------------------------------------------
+
+    def is_dead(self, coord: Coord, direction: Direction,
+                slice_index: int) -> bool:
+        """Whether one directed channel link is currently unusable."""
+        if self.state.is_channel_dead(coord, direction, slice_index):
+            return True
+        return self.state.is_node_dead(
+            self.torus.neighbor(coord, *direction))
+
+    # -- distance tables --------------------------------------------------
+
+    def live_distances(self, slice_index: int,
+                       target: Coord) -> Dict[Coord, int]:
+        """Hop distances to ``target`` over live links of one slice.
+
+        Nodes absent from the table cannot reach ``target`` at all on
+        this slice — the partition signal the fence engine's domain
+        check and :meth:`route_direction` both act on.
+        """
+        if self._tables_epoch != self.state.epoch:
+            self._tables.clear()
+            self._tables_epoch = self.state.epoch
+        key = (slice_index, self.torus.normalize(target))
+        table = self._tables.get(key)
+        if table is None:
+            table = self._build_table(slice_index, key[1])
+            self._tables[key] = table
+        return table
+
+    def _build_table(self, slice_index: int,
+                     target: Coord) -> Dict[Coord, int]:
+        dist: Dict[Coord, int] = {target: 0}
+        frontier = deque((target,))
+        while frontier:
+            v = frontier.popleft()
+            for axis, sign in DIRECTIONS:
+                # u's outgoing (axis, sign) link lands on v.
+                u = self.torus.neighbor(v, axis, -sign)
+                if u in dist or self.state.is_node_dead(u):
+                    continue
+                if self.is_dead(u, (axis, sign), slice_index):
+                    continue
+                dist[u] = dist[v] + 1
+                frontier.append(u)
+        return dist
+
+    # -- per-hop decisions -------------------------------------------------
+
+    def route_options(self, coord: Coord, target: Coord,
+                      slice_index: int) -> List[Direction]:
+        """Live directions from ``coord`` that move strictly closer.
+
+        Raises :class:`~repro.netsim.fabric.FabricError` when the faults
+        have cut ``coord`` off from ``target`` on this slice.
+        """
+        coord = self.torus.normalize(coord)
+        target = self.torus.normalize(target)
+        dist = self.live_distances(slice_index, target)
+        here = dist.get(coord)
+        if here is None:
+            # Imported lazily: netsim.machine imports this package, so a
+            # module-level netsim import here would be a cycle.
+            from ..netsim.fabric import FabricError
+
+            raise FabricError(
+                f"faults partition the fabric: {coord} cannot reach "
+                f"{target} on slice {slice_index}")
+        options = []
+        for axis, sign in DIRECTIONS:
+            if self.is_dead(coord, (axis, sign), slice_index):
+                continue
+            neighbor = self.torus.neighbor(coord, axis, sign)
+            if dist.get(neighbor) == here - 1:
+                options.append((axis, sign))
+        return options
+
+    def route_direction(self, packet, coord: Coord, target: Coord,
+                        rng: Optional[random.Random] = None,
+                        ) -> Optional[Direction]:
+        """The packet's next hop toward ``target`` on the live graph.
+
+        Returns ``None`` on arrival; otherwise one strictly-progressing
+        live direction, selected by the machine's routing policy
+        (``reroute_choice``) so policy flavor survives degradation.
+        """
+        coord = self.torus.normalize(coord)
+        target = self.torus.normalize(target)
+        if coord == target:
+            return None
+        options = self.route_options(coord, target, packet.slice_index)
+        return self.reroute_choice_for(options, rng)
+
+    def reroute_choice_for(self, options: List[Direction],
+                           rng: Optional[random.Random]) -> Direction:
+        """Delegate the final pick to the machine's routing policy."""
+        return self.machine.routing.reroute_choice(options, rng)

@@ -1,0 +1,249 @@
+"""Deterministic fault schedules for the torus fabric.
+
+A :class:`FaultSchedule` is a frozen, JSON-able list of
+:class:`FaultEvent` records — *when* a resource dies (and, for flaps,
+when it comes back) plus *which* resource: a cable (both directed
+channel-link pairs between two neighbors), a whole router (every cable
+touching a node), or a single virtual channel on one directed link.
+
+Schedules are plain data: they carry no simulator state and hash/compare
+structurally, so they can live inside the frozen
+:class:`~repro.netsim.config.MachineConfig` and inside content-addressed
+cache digests.  :func:`random_fault_schedule` derives a schedule from a
+seed via :func:`~repro.engine.seeding.derive_seed`, the repository's
+determinism convention, so ``--jobs 1`` and ``--jobs N`` sweeps build
+identical fault sets in every worker process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..engine.seeding import derive_seed
+from ..topology.torus import Coord, DIRECTIONS, Torus3D
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "all_cables",
+    "cable_links",
+    "random_fault_schedule",
+    "router_links",
+]
+
+Direction = Tuple[int, int]
+
+#: Supported fault kinds.  ``flap`` is a dead cable with a restore time.
+FAULT_KINDS = ("dead-link", "dead-router", "dead-vc", "flap")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``node``/``axis`` name a cable for link faults (``dead-link``,
+    ``flap``, ``dead-vc``): the physical cable leaving ``node`` in the
+    positive direction of ``axis`` (its far end is the neighbor's
+    negative-direction endpoint).  ``dead-router`` ignores ``axis`` and
+    kills every cable touching ``node``.  ``vc`` selects one link VC for
+    ``dead-vc`` faults; ``restore_ns`` turns a ``flap`` back on.
+    """
+
+    kind: str
+    node: Coord
+    axis: int = 0
+    time_ns: float = 0.0
+    vc: Optional[int] = None
+    restore_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.kind == "dead-vc" and self.vc is None:
+            raise ValueError("dead-vc faults need a vc")
+        if self.kind == "flap" and self.restore_ns is None:
+            raise ValueError("flap faults need a restore_ns")
+        if self.restore_ns is not None and self.restore_ns <= self.time_ns:
+            raise ValueError("restore_ns must be after time_ns")
+        object.__setattr__(self, "node", tuple(self.node))
+
+    def to_jsonable(self) -> dict:
+        record = {"kind": self.kind, "node": list(self.node),
+                  "axis": self.axis, "time_ns": self.time_ns}
+        if self.vc is not None:
+            record["vc"] = self.vc
+        if self.restore_ns is not None:
+            record["restore_ns"] = self.restore_ns
+        return record
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "FaultEvent":
+        return cls(kind=record["kind"], node=tuple(record["node"]),
+                   axis=record.get("axis", 0),
+                   time_ns=record.get("time_ns", 0.0),
+                   vc=record.get("vc"),
+                   restore_ns=record.get("restore_ns"))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, hashable collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def to_jsonable(self) -> list:
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, records: Sequence[dict]) -> "FaultSchedule":
+        return cls(tuple(FaultEvent.from_jsonable(r) for r in records))
+
+
+# ---------------------------------------------------------------------------
+# Resource naming: cables and the directed links they carry.
+# ---------------------------------------------------------------------------
+
+
+def all_cables(torus: Torus3D) -> List[Tuple[Coord, int]]:
+    """Every physical cable, canonically named ``(node, axis)``.
+
+    A cable is the bidirectional connection between a node's
+    positive-``axis`` channel endpoint and its neighbor's negative
+    endpoint; every cable has exactly one positive endpoint, so the
+    enumeration is one entry per (node, axis) — ``3 * num_nodes`` total.
+    """
+    return [(coord, axis) for coord in torus.nodes() for axis in (0, 1, 2)]
+
+
+def cable_links(torus: Torus3D, node: Coord,
+                axis: int) -> List[Tuple[Coord, Direction]]:
+    """The directed channel links one cable carries (both directions).
+
+    Each entry is ``(owner_node, direction)``: the owner's outgoing
+    channel toward the other end.  Slice fan-out (both SERDES slices
+    ride one cable) is applied by the injector.
+    """
+    node = torus.normalize(node)
+    far = torus.neighbor(node, axis, 1)
+    links = [(node, (axis, 1))]
+    reverse = (far, (axis, -1))
+    if reverse != links[0]:  # dims of 1 make the cable a self-loop
+        links.append(reverse)
+    return links
+
+
+def router_links(torus: Torus3D,
+                 node: Coord) -> List[Tuple[Coord, Direction]]:
+    """Every directed channel link touching ``node`` (a dead router).
+
+    Both the node's own outgoing links and its neighbors' links back
+    toward it, so a dead router neither emits nor absorbs flits.
+    """
+    node = torus.normalize(node)
+    links: List[Tuple[Coord, Direction]] = []
+    seen: Set[Tuple[Coord, Direction]] = set()
+    for axis, sign in DIRECTIONS:
+        for link in ((node, (axis, sign)),
+                     (torus.neighbor(node, axis, sign), (axis, -sign))):
+            if link not in seen:
+                seen.add(link)
+                links.append(link)
+    return links
+
+
+# ---------------------------------------------------------------------------
+# Derived random schedules.
+# ---------------------------------------------------------------------------
+
+
+def _live_graph_connected(torus: Torus3D,
+                          dead_cables: Set[Tuple[Coord, int]],
+                          dead_nodes: Set[Coord]) -> bool:
+    """True when every live node can reach every other over live cables."""
+    live_nodes = [n for n in torus.nodes() if n not in dead_nodes]
+    if not live_nodes:
+        return False
+    dead_links = {
+        link for cable in dead_cables for link in cable_links(torus, *cable)}
+    frontier = [live_nodes[0]]
+    reached = {live_nodes[0]}
+    while frontier:
+        coord = frontier.pop()
+        for axis, sign in DIRECTIONS:
+            if (coord, (axis, sign)) in dead_links:
+                continue
+            neighbor = torus.neighbor(coord, axis, sign)
+            if neighbor in dead_nodes or neighbor in reached:
+                continue
+            reached.add(neighbor)
+            frontier.append(neighbor)
+    return len(reached) == len(live_nodes)
+
+
+def random_fault_schedule(dims: Sequence[int], num_faults: int,
+                          seed: int = 0, kind: str = "dead-link",
+                          time_ns: float = 0.0,
+                          restore_ns: Optional[float] = None,
+                          require_connected: bool = True,
+                          max_tries: int = 256) -> FaultSchedule:
+    """``num_faults`` distinct random faults on a ``dims`` torus.
+
+    The draw stream derives from ``(seed, "faults", kind, num_faults)``
+    so the same parameters name the same fault set in every process.
+    With ``require_connected`` (the default) candidate sets that
+    disconnect the live fabric are redrawn — degraded-mode experiments
+    measure routing around faults, which needs every pair reachable;
+    pass ``False`` to study partitions (e.g. the fence domain tests).
+    """
+    if kind not in ("dead-link", "dead-router", "flap"):
+        raise ValueError(f"random schedules support link/router/flap "
+                         f"faults, not {kind!r}")
+    if kind == "flap" and restore_ns is None:
+        raise ValueError("flap schedules need a restore_ns")
+    torus = Torus3D(dims)
+    if num_faults <= 0:
+        return FaultSchedule(())
+    rng = random.Random(derive_seed(seed, "faults", kind, num_faults))
+    if kind == "dead-router":
+        population: List = list(torus.nodes())
+    else:
+        population = all_cables(torus)
+    if num_faults > len(population):
+        raise ValueError(f"{num_faults} faults exceed the {len(population)} "
+                         f"available resources on a {tuple(dims)} torus")
+    for __ in range(max_tries):
+        picks = rng.sample(population, num_faults)
+        if require_connected:
+            if kind == "dead-router":
+                ok = _live_graph_connected(torus, set(), set(picks))
+            else:
+                ok = _live_graph_connected(torus, set(picks), set())
+            if not ok:
+                continue
+        events = []
+        for pick in sorted(picks):
+            if kind == "dead-router":
+                events.append(FaultEvent(kind=kind, node=pick,
+                                         time_ns=time_ns))
+            else:
+                node, axis = pick
+                events.append(FaultEvent(kind=kind, node=node, axis=axis,
+                                         time_ns=time_ns,
+                                         restore_ns=restore_ns))
+        return FaultSchedule(tuple(events))
+    raise ValueError(
+        f"could not draw {num_faults} {kind} faults keeping a {tuple(dims)} "
+        f"torus connected within {max_tries} tries")

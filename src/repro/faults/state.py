@@ -1,0 +1,70 @@
+"""Live fault bookkeeping for one machine.
+
+:class:`FaultState` is the single source of truth for which directed
+channel links (per slice), nodes, and link VCs are currently dead.  The
+injector mutates it as schedule events fire; the reroute adviser reads
+it and uses the ``epoch`` counter to invalidate cached routing tables —
+every mutation bumps the epoch, so a table built at epoch *N* is stale
+the moment anything changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..topology.torus import Coord
+
+__all__ = ["FaultState"]
+
+Direction = Tuple[int, int]
+ChannelKey = Tuple[Coord, Direction, int]  # (owner node, direction, slice)
+
+
+class FaultState:
+    """Current dead resources; empty state means a healthy machine."""
+
+    def __init__(self) -> None:
+        self.dead_channels: Set[ChannelKey] = set()
+        self.dead_nodes: Set[Coord] = set()
+        self.dead_vcs: Dict[ChannelKey, Set[int]] = {}
+        self.epoch = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.dead_channels or self.dead_nodes or self.dead_vcs)
+
+    # -- mutation (injector only) ----------------------------------------
+
+    def kill_channel(self, node: Coord, direction: Direction,
+                     slice_index: int) -> None:
+        self.dead_channels.add((node, direction, slice_index))
+        self.epoch += 1
+
+    def revive_channel(self, node: Coord, direction: Direction,
+                       slice_index: int) -> None:
+        self.dead_channels.discard((node, direction, slice_index))
+        self.epoch += 1
+
+    def kill_node(self, node: Coord) -> None:
+        self.dead_nodes.add(node)
+        self.epoch += 1
+
+    def kill_vc(self, node: Coord, direction: Direction, slice_index: int,
+                vc: int) -> None:
+        self.dead_vcs.setdefault((node, direction, slice_index),
+                                 set()).add(vc)
+        self.epoch += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def is_channel_dead(self, node: Coord, direction: Direction,
+                        slice_index: int) -> bool:
+        return (node, direction, slice_index) in self.dead_channels
+
+    def is_node_dead(self, node: Coord) -> bool:
+        return node in self.dead_nodes
+
+    def is_vc_dead(self, node: Coord, direction: Direction,
+                   slice_index: int, vc: int) -> bool:
+        vcs = self.dead_vcs.get((node, direction, slice_index))
+        return vcs is not None and vc in vcs

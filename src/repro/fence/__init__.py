@@ -1,6 +1,6 @@
 """The network fence: in-network merged synchronization (Section V)."""
 
-from .engine import FenceEngine, FencePattern, FenceTiming
+from .engine import FenceDomainError, FenceEngine, FencePattern, FenceTiming
 from .merge import (
     FenceConfigError,
     FenceEdge,
@@ -13,6 +13,7 @@ from .surface import measure_fence_curve
 
 __all__ = [
     "measure_fence_curve",
+    "FenceDomainError",
     "FenceEngine",
     "FencePattern",
     "FenceTiming",

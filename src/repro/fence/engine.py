@@ -41,6 +41,18 @@ class FencePattern(enum.Enum):
     GC_TO_ICB = "gc_to_icb"
 
 
+class FenceDomainError(RuntimeError):
+    """A fence's domain is unreachable under the machine's faults.
+
+    Raised synchronously by :meth:`FenceEngine.start_fence` — a graph
+    check over the live channel fabric, zero simulated slices — when a
+    dead router (or a link-fault partition) makes the k-hop barrier
+    semantics unsatisfiable.  Failing fast here is what keeps
+    fence-synchronized workloads from waiting on a barrier that can
+    never complete.
+    """
+
+
 @dataclass
 class FenceTiming:
     """Calibrated intra-node fence phase latencies (ns).
@@ -67,6 +79,7 @@ class FenceTiming:
 class _NodeFenceState:
     hops: int
     pattern: FencePattern
+    expected: int = 0  # round arrivals required (live incoming copies)
     rounds_done: int = 0
     emitted_round: int = 0
     arrivals: Dict[int, int] = field(default_factory=dict)
@@ -123,6 +136,7 @@ class FenceEngine:
                 f"at most {self.MAX_CONCURRENT} concurrent network fences")
         if hops < 0:
             raise ValueError("hops must be >= 0")
+        self._check_fence_domains(hops)
         self._bind_handlers()
         fence_id = self._next_fence_id
         self._next_fence_id += 1
@@ -131,7 +145,8 @@ class FenceEngine:
             self._on_complete[fence_id] = on_node_complete
         sim = self.machine.sim
         for coord in self.machine.chips:
-            self._states[(fence_id, coord)] = _NodeFenceState(hops, pattern)
+            self._states[(fence_id, coord)] = _NodeFenceState(
+                hops, pattern, expected=self._expected_arrivals(coord))
         # Intra-node aggregation, then either local completion (0 hops)
         # or emission of the first inter-node round.
         for coord in self.machine.chips:
@@ -156,6 +171,93 @@ class FenceEngine:
         return max(completions) - start
 
     # ------------------------------------------------------------------
+    # Fault awareness: live fence links and the domain pre-check.
+    # ------------------------------------------------------------------
+
+    def _fault_state(self):
+        return getattr(self.machine, "fault_state", None)
+
+    def _fence_pair_live(self, owner: Coord, direction: Tuple[int, int],
+                         slice_index: int) -> bool:
+        """Whether one outgoing (direction, slice) can carry fences.
+
+        Fence packets cross channels on link VC 0, so a dead VC 0 kills
+        the pair even when the link itself survives; a dead VC elsewhere
+        is an *unrelated* fault the fence completes around.
+        """
+        state = self._fault_state()
+        if state is None or not state.active:
+            return True
+        return not (state.is_channel_dead(owner, direction, slice_index)
+                    or state.is_vc_dead(owner, direction, slice_index, 0))
+
+    def _expected_arrivals(self, coord: Coord) -> int:
+        """Round arrivals this node must collect: live incoming copies.
+
+        Healthy machines take the constant-expected fast path — the
+        exact pre-fault arithmetic, preserving byte-identical results.
+        """
+        state = self._fault_state()
+        if state is None or not state.active:
+            return len(DIRECTIONS) * self.copies_per_direction
+        torus = self.machine.torus
+        live_pairs = 0
+        for axis, sign in DIRECTIONS:
+            owner = torus.neighbor(coord, axis, sign)
+            for slice_index in range(self.slices):
+                if self._fence_pair_live(owner, (axis, -sign), slice_index):
+                    live_pairs += 1
+        return live_pairs * self.request_vcs
+
+    def _check_fence_domains(self, hops: int) -> None:
+        """Fail fast when faults make the k-hop barrier unsatisfiable.
+
+        Pure graph analysis over the live channel fabric — zero
+        simulated slices, so the error path is bounded by construction.
+        Two failure modes: a dead router cannot contribute its GCs to
+        any inter-node barrier, and link faults can stretch a
+        neighbor's live distance beyond the fence's round budget (the
+        k rounds only propagate information k live hops).
+        """
+        state = self._fault_state()
+        if hops == 0 or state is None or not state.active:
+            return
+        torus = self.machine.torus
+        if state.dead_nodes:
+            raise FenceDomainError(
+                f"fence domain partitioned: dead router(s) "
+                f"{sorted(state.dead_nodes)} cannot join a {hops}-hop "
+                f"barrier")
+        for source in torus.nodes():
+            dist = self._live_fence_distances(source)
+            for member in torus.nodes_within(source, hops):
+                if dist.get(member, hops + 1) > hops:
+                    raise FenceDomainError(
+                        f"fence domain partitioned: {member} is within "
+                        f"{hops} torus hops of {source} but "
+                        f"{'unreachable' if member not in dist else f'{dist[member]} live hops away'} "
+                        f"over the surviving links")
+
+    def _live_fence_distances(self, source: Coord) -> Dict[Coord, int]:
+        """BFS hop distances from ``source`` over fence-capable links."""
+        torus = self.machine.torus
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for coord in frontier:
+                for axis, sign in DIRECTIONS:
+                    if not any(self._fence_pair_live(coord, (axis, sign), s)
+                               for s in range(self.slices)):
+                        continue
+                    neighbor = torus.neighbor(coord, axis, sign)
+                    if neighbor not in dist:
+                        dist[neighbor] = dist[coord] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return dist
+
+    # ------------------------------------------------------------------
     # Per-node fence progression.
     # ------------------------------------------------------------------
 
@@ -173,6 +275,9 @@ class FenceEngine:
         chip = self.machine.chips[coord]
         for axis, sign in DIRECTIONS:
             for slice_index in range(self.slices):
+                if not self._fence_pair_live(coord, (axis, sign),
+                                             slice_index):
+                    continue  # fence-dead channel: neighbor won't count it
                 ca = chip.channel_adapter((axis, sign), slice_index)
                 for vc in range(self.request_vcs):
                     packet = Packet(
@@ -201,9 +306,8 @@ class FenceEngine:
         if state is None:
             raise RuntimeError(f"fence {fence_id} not active at {coord}")
         state.arrivals[round_index] = state.arrivals.get(round_index, 0) + 1
-        expected = len(DIRECTIONS) * self.copies_per_direction
         if (round_index == state.rounds_done + 1
-                and state.arrivals[round_index] == expected):
+                and state.arrivals[round_index] == state.expected):
             self._round_complete(fence_id, coord)
 
     def _round_complete(self, fence_id: int, coord: Coord) -> None:
@@ -218,8 +322,7 @@ class FenceEngine:
                   lambda: self._emit_round(fence_id, coord, next_round))
         # A node that received fast neighbors' fences may already hold a
         # complete set for the next round.
-        expected = len(DIRECTIONS) * self.copies_per_direction
-        if state.arrivals.get(next_round, 0) == expected:
+        if state.arrivals.get(next_round, 0) == state.expected:
             # Handled when our own emission finishes; arrival counting is
             # already complete, so schedule the check after emission.
             sim.after(self.timing.internal_ns,

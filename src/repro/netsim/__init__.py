@@ -1,6 +1,7 @@
 """Flit-level simulator of the Anton 3 network (Sections II-III)."""
 
 from .chip import ChipNetwork, GcEndpoint
+from .config import MachineConfig
 from .core_router import CORE_VC_REQUEST, CORE_VC_RESPONSE, CoreNetwork, CoreRouter
 from .edge_router import (
     DIRECTION_ROWS,
@@ -43,6 +44,7 @@ __all__ = [
     "FabricError",
     "Link",
     "Router",
+    "MachineConfig",
     "NetworkMachine",
     "FLIT_BITS",
     "HEADER_BITS",

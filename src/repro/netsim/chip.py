@@ -82,6 +82,9 @@ class ChipNetwork(CoreNetworkHost):
             tc: 0 for tc in TrafficClass}
         self.delivery_hook: Optional[Callable[[Packet], None]] = None
         self.record_delivered = True
+        # Installed by the machine only when faults are scheduled; while
+        # None (the healthy case) routing takes the exact original paths.
+        self.fault_adviser = None
 
         # Row Adapters: one per (side, row), joining core column 0 or
         # cols-1 to the inner edge column.
@@ -232,7 +235,14 @@ class ChipNetwork(CoreNetworkHost):
         adaptive-VC credit/occupancy (:meth:`adaptive_vc_state`) with
         the chip RNG breaking score ties.
         """
+        adviser = self.fault_adviser
         if packet.traffic_class is TrafficClass.RESPONSE:
+            if adviser is not None:
+                # Degraded mode: responses follow the live-shortest-path
+                # table (they may leave the mesh restriction — see the
+                # fault-model caveats in docs/architecture.md).
+                return adviser.route_direction(packet, self.coord,
+                                               packet.dst_node, self._rng)
             for axis in (0, 1, 2):
                 delta = packet.dst_node[axis] - self.coord[axis]
                 if delta:
@@ -242,7 +252,10 @@ class ChipNetwork(CoreNetworkHost):
         if plan is not None and getattr(plan, "adaptive", False):
             return next_request_direction(packet, self.coord, self.torus,
                                           probe=self._adaptive_probe(packet),
-                                          rng=self._rng)
+                                          rng=self._rng, faults=adviser)
+        if adviser is not None:
+            return next_request_direction(packet, self.coord, self.torus,
+                                          rng=self._rng, faults=adviser)
         return next_request_direction(packet, self.coord, self.torus)
 
     def adaptive_vc_state(self, direction: Tuple[int, int],

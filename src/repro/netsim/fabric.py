@@ -65,6 +65,8 @@ class Link:
         self._busy_until = 0.0
         self._queues: List[Deque[_QueuedSend]] = [deque() for __ in range(vcs)]
         self._next_vc = 0  # round-robin arbitration pointer
+        self.failed = False
+        self._dead_vcs: set = set()
         self.packets_sent = 0
         self.flits_sent = 0
         self.packets_sent_by_vc = [0] * vcs
@@ -87,12 +89,19 @@ class Link:
         """The next VC (round-robin) whose head packet has credits."""
         for offset in range(self.vcs):
             vc = (self._next_vc + offset) % self.vcs
+            if vc in self._dead_vcs:
+                continue
             queue = self._queues[vc]
             if queue and self._credits[vc] >= queue[0].packet.num_flits:
                 return vc
         return None
 
     def _dispatch(self) -> None:
+        if self.failed:
+            # A dead channel holds its queued sends indefinitely (no
+            # events, so an open-loop run simply drains around it); a
+            # later restore() re-dispatches whatever is stranded.
+            return
         now = self._sim.now
         while True:
             vc = self._eligible_vc()
@@ -123,10 +132,43 @@ class Link:
     def queued(self) -> int:
         return sum(len(queue) for queue in self._queues)
 
+    # -- fault injection (repro.faults) -----------------------------------
+
+    def fail(self) -> None:
+        """Kill the channel: stop dispatching and withdraw all credits.
+
+        Queued and future sends are accepted but held; credit probes
+        (:meth:`vc_credits`) read zero so adaptive choosers route away.
+        """
+        self.failed = True
+
+    def restore(self) -> None:
+        """Revive a failed channel and re-dispatch stranded sends."""
+        if not self.failed:
+            return
+        self.failed = False
+        self._dispatch()
+
+    def fail_vc(self, vc: int) -> None:
+        """Kill one virtual channel; the others keep flowing."""
+        if not 0 <= vc < self.vcs:
+            raise FabricError(f"{self.name}: VC {vc} out of range")
+        self._dead_vcs.add(vc)
+
+    def restore_vc(self, vc: int) -> None:
+        self._dead_vcs.discard(vc)
+        self._dispatch()
+
     # -- per-VC visibility (adaptive routing's credit/occupancy probe) ----
 
     def vc_credits(self, vc: int) -> int:
-        """Downstream input-queue credits currently held for ``vc``."""
+        """Downstream input-queue credits currently held for ``vc``.
+
+        A failed link (or a dead VC) reads zero: the adaptive chooser's
+        headroom test then rejects it without fault-specific logic.
+        """
+        if self.failed or vc in self._dead_vcs:
+            return 0
         return self._credits[vc]
 
     def queued_on(self, vc: int) -> int:

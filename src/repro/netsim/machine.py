@@ -10,49 +10,97 @@ writes, blocking reads, and raw packet injection.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.seeding import derive_seed
 from ..engine.simulator import Simulator
+from ..faults import FaultAdviser, FaultInjector, FaultState
 from ..routing import DEFAULT_POLICY, RoutePlan, RoutingPolicy, make_policy
 from ..topology.torus import Coord, DIRECTIONS, Torus3D
 from .chip import ChipNetwork, GcEndpoint
-from .fabric import Link
+from .config import MachineConfig
+from .fabric import FabricError, Link
 from .packet import CoreAddress, Packet, PacketKind, TrafficClass
 from .params import DEFAULT_PARAMS, LatencyParams
 
+_UNSET = object()  # sentinel distinguishing "not passed" from any value
+
 
 class NetworkMachine:
-    """A torus of simulated Anton 3 node networks."""
+    """A torus of simulated Anton 3 node networks.
 
-    def __init__(self, dims: Sequence[int] = (2, 2, 2),
-                 params: LatencyParams = DEFAULT_PARAMS,
-                 chip_cols: int = 24, chip_rows: int = 12,
-                 seed: int = 0,
-                 routing: "str | RoutingPolicy" = DEFAULT_POLICY) -> None:
+    The supported constructor is the keyword-only ``config`` path::
+
+        NetworkMachine(config=MachineConfig(dims=(4, 4, 8), seed=3))
+
+    The historical per-field keyword arguments (``dims``, ``params``,
+    ``chip_cols``, ``chip_rows``, ``seed``, ``routing``) still work but
+    are deprecated; they are folded into an equivalent
+    :class:`~repro.netsim.config.MachineConfig`, so both paths build
+    byte-identical machines (pinned by tests/test_faults.py).
+    """
+
+    def __init__(self, dims: Sequence[int] = _UNSET,
+                 params: LatencyParams = _UNSET,
+                 chip_cols: int = _UNSET, chip_rows: int = _UNSET,
+                 seed: int = _UNSET,
+                 routing: "str | RoutingPolicy" = _UNSET, *,
+                 config: Optional[MachineConfig] = None) -> None:
+        legacy = {name: value for name, value in (
+            ("dims", dims), ("params", params), ("chip_cols", chip_cols),
+            ("chip_rows", chip_rows), ("seed", seed), ("routing", routing),
+        ) if value is not _UNSET}
+        if config is not None and legacy:
+            raise TypeError(
+                "pass either config= or the legacy keyword arguments "
+                f"({sorted(legacy)}), not both")
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "NetworkMachine(dims=..., ...) keyword arguments are "
+                    "deprecated; pass config=MachineConfig(...) instead",
+                    DeprecationWarning, stacklevel=2)
+            config = MachineConfig(**legacy)
+        self.config = config
         self.sim = Simulator()
-        self.torus = Torus3D(dims)
-        self.params = params
-        self.chip_cols = chip_cols
-        self.chip_rows = chip_rows
-        self.seed = seed
+        self.torus = Torus3D(config.dims)
+        self.params = config.params
+        self.chip_cols = config.chip_cols
+        self.chip_rows = config.chip_rows
+        self.seed = config.seed
         # All machine-level randomness (routing choices, GC sampling)
         # draws from a derive_seed stream so results are stable across
         # processes (the PR-1 determinism convention).
-        self.rng = random.Random(derive_seed(seed, "machine"))
+        self.rng = random.Random(derive_seed(config.seed, "machine"))
         # The request routing policy (repro.routing).  The default,
         # randomized-minimal, reproduces the paper's Section III-B2
         # scheme draw for draw.
-        self.routing = (routing if isinstance(routing, RoutingPolicy)
-                        else make_policy(routing, self.torus))
+        self.routing = (config.routing
+                        if isinstance(config.routing, RoutingPolicy)
+                        else make_policy(config.routing, self.torus))
         self.chips: Dict[Coord, ChipNetwork] = {}
         for coord in self.torus.nodes():
             self.chips[coord] = ChipNetwork(
-                self.sim, coord, self.torus, params=params,
-                cols=chip_cols, rows=chip_rows,
-                rng=random.Random(derive_seed(seed, coord)))
+                self.sim, coord, self.torus, params=self.params,
+                cols=self.chip_cols, rows=self.chip_rows,
+                rng=random.Random(derive_seed(config.seed, coord)))
         self._wire_channels()
+        # Fault machinery: the state object always exists (cheap, empty);
+        # the adviser and injector are wired only for scheduled faults,
+        # so fault-free machines run the exact pre-fault code paths.
+        self.fault_state = FaultState()
+        self.fault_adviser: Optional[FaultAdviser] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None and len(config.faults):
+            self.fault_adviser = FaultAdviser(self)
+            for chip in self.chips.values():
+                chip.fault_adviser = self.fault_adviser
+            self.fault_injector = FaultInjector(self, config.faults)
+            self.fault_injector.apply()
+        if not config.record_delivered:
+            self.set_record_delivered(False)
 
     def _wire_channels(self) -> None:
         params = self.params
@@ -79,6 +127,22 @@ class NetworkMachine:
 
     def chip(self, coord: Coord) -> ChipNetwork:
         return self.chips[self.torus.normalize(coord)]
+
+    def channel_link(self, coord: Coord, direction: Tuple[int, int],
+                     slice_index: int) -> Link:
+        """The outgoing channel link of one node in one direction/slice.
+
+        The handle the fault injector kills and restores; raises
+        :class:`~repro.netsim.fabric.FabricError` if the channel was
+        never wired (a machine-construction bug, not a fault).
+        """
+        ca = self.chip(coord).channel_adapters[(direction, slice_index)]
+        link = ca.output_or_none("channel")
+        if link is None:
+            raise FabricError(
+                f"{coord} has no wired channel {direction} slice "
+                f"{slice_index}")
+        return link
 
     def gc(self, coord: Coord, address: CoreAddress) -> GcEndpoint:
         return self.chip(coord).gc(address)

@@ -11,32 +11,46 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from .config import MachineConfig
 from .machine import NetworkMachine
 from .pingpong import PingPongHarness
 
+_UNSET = object()
+
 
 def build_machine(
-    dims: Sequence[int] = (4, 4, 8),
-    chip_cols: int = 24,
-    chip_rows: int = 12,
-    seed: int = 0,
-    routing: str = "randomized-minimal",
+    dims: Sequence[int] = _UNSET,
+    chip_cols: int = _UNSET,
+    chip_rows: int = _UNSET,
+    seed: int = _UNSET,
+    routing: str = _UNSET,
+    *,
+    config: Optional[MachineConfig] = None,
 ) -> NetworkMachine:
     """A fresh :class:`NetworkMachine` with its own simulator kernel.
 
-    ``seed`` is the machine's root seed; per-chip RNG streams are
-    derived from it with :func:`repro.engine.seeding.derive_seed`, so
-    identical parameters rebuild an identical machine in any process.
-    ``routing`` names a registered policy (:mod:`repro.routing`); the
-    default is the paper's randomized minimal dimension-order scheme.
+    The supported entry point is ``build_machine(config=...)`` with a
+    :class:`~repro.netsim.config.MachineConfig`.  The historical
+    per-field arguments (``dims`` defaulting to the 128-node
+    ``(4, 4, 8)``, ``chip_cols``, ``chip_rows``, ``seed``, ``routing``)
+    still work and are folded into an equivalent config, so both paths
+    build byte-identical machines: per-chip RNG streams derive from
+    ``seed`` with :func:`repro.engine.seeding.derive_seed` either way.
     """
-    return NetworkMachine(
-        dims=tuple(dims),
-        chip_cols=chip_cols,
-        chip_rows=chip_rows,
-        seed=seed,
-        routing=routing,
-    )
+    legacy = {name: value for name, value in (
+        ("dims", dims), ("chip_cols", chip_cols), ("chip_rows", chip_rows),
+        ("seed", seed), ("routing", routing)) if value is not _UNSET}
+    if config is not None:
+        if legacy:
+            raise TypeError(
+                "pass either config= or the legacy arguments "
+                f"({sorted(legacy)}), not both")
+        return NetworkMachine(config=config)
+    fields = {"dims": (4, 4, 8), "chip_cols": 24, "chip_rows": 12,
+              "seed": 0, "routing": "randomized-minimal"}
+    fields.update(legacy)
+    fields["dims"] = tuple(fields["dims"])
+    return NetworkMachine(config=MachineConfig(**fields))
 
 
 def measure_latency_curve(
@@ -58,7 +72,9 @@ def measure_latency_curve(
     from ..analysis.aggregate import summarize_values
     from ..analysis.fits import fit_latency_vs_hops
 
-    machine = build_machine(dims, chip_cols, chip_rows, machine_seed)
+    machine = build_machine(config=MachineConfig(
+        dims=tuple(dims), chip_cols=chip_cols, chip_rows=chip_rows,
+        seed=machine_seed, routing="randomized-minimal"))
     harness = PingPongHarness(machine, seed=harness_seed)
     samples = harness.latency_samples_vs_hops(
         max_hops=max_hops, samples_per_hop=samples_per_hop
@@ -95,7 +111,9 @@ def measure_min_one_hop(
     samples: int = 30,
 ) -> dict:
     """Best-placement single-hop latency (the paper's ~55 ns number)."""
-    machine = build_machine(dims, chip_cols, chip_rows, machine_seed)
+    machine = build_machine(config=MachineConfig(
+        dims=tuple(dims), chip_cols=chip_cols, chip_rows=chip_rows,
+        seed=machine_seed, routing="randomized-minimal"))
     harness = PingPongHarness(machine, seed=harness_seed)
     minimum = harness.minimum_one_hop_latency(samples=samples)
     return {

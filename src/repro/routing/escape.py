@@ -124,7 +124,7 @@ def _win_adaptive_vc(candidates: List[Direction], coord: Coord,
 def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
                               probe: Optional[AdaptiveVcProbe] = None,
                               rng: Optional[random.Random] = None,
-                              ) -> Optional[Direction]:
+                              faults=None) -> Optional[Direction]:
     """One per-hop routing decision for an adaptive-escape packet.
 
     Tries, in order: a productive adaptive hop, a misroute (budget and
@@ -135,11 +135,21 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
     ``packet.misroutes`` counts spent budget.  With no ``probe`` (e.g.
     offline traces without a fabric) every hop is an escape hop.
     Returns ``None`` at the phase target.
+
+    Under faults (``faults`` is the machine's fault adviser) the
+    adaptive layer needs no special handling — dead channels read zero
+    adaptive-VC credit, so they can never win a productive or misroute
+    hop — but the escape leg must stay live and progressing, so it
+    follows the adviser's live-shortest-path table instead of the
+    blind dimension order.
     """
     plan: RoutePlan = packet.route
     phase = plan.current
     offsets = torus.offsets(coord, phase.target)
     dims = torus.dims.as_tuple()
+    if faults is not None:
+        return _faulted_adaptive_direction(packet, coord, torus, phase,
+                                           probe, rng, faults)
     productive = _productive_directions(offsets, dims)
     if not productive:
         return None
@@ -174,6 +184,51 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
     return None
 
 
+def _faulted_adaptive_direction(packet, coord: Coord, torus: Torus3D,
+                                phase, probe: Optional[AdaptiveVcProbe],
+                                rng: Optional[random.Random],
+                                faults) -> Optional[Direction]:
+    """The degraded-mode per-hop decision for an adaptive plan.
+
+    "Productive" is redefined against the *live* graph: the adviser's
+    strictly-distance-decreasing direction set replaces the torus-offset
+    set.  That redefinition is what keeps the walk livelock-free — a
+    torus-minimal hop toward a dead link can increase live distance, and
+    alternating such hops with escape corrections would never terminate.
+    The layer structure is unchanged: credit-scored adaptive choice over
+    the productive set, budget-capped misroutes over live non-wrap
+    detours, escape via the policy's ``reroute_choice``.
+    """
+    target = torus.normalize(phase.target)
+    if torus.normalize(coord) == target:
+        return None
+    productive = faults.route_options(coord, target, packet.slice_index)
+    if probe is not None:
+        choice = _win_adaptive_vc(productive, coord, probe,
+                                  packet.num_flits, rng)
+        if choice is not None:
+            packet.on_escape = False
+            return choice
+        if (packet.route.max_misroutes is None
+                or packet.misroutes < packet.route.max_misroutes):
+            detours = [
+                (axis, sign)
+                for axis in (0, 1, 2) for sign in (1, -1)
+                if (axis, sign) not in productive
+                and not torus.is_wrap_hop(coord, axis, sign)
+                and not faults.is_dead(coord, (axis, sign),
+                                       packet.slice_index)
+            ]
+            choice = _win_adaptive_vc(detours, coord, probe,
+                                      packet.num_flits, rng)
+            if choice is not None:
+                packet.misroutes += 1
+                packet.on_escape = False
+                return choice
+    packet.on_escape = True
+    return faults.reroute_choice_for(productive, rng)
+
+
 class AdaptiveEscapePolicy(RoutingPolicy):
     """Fully per-hop adaptive routing over an escape-VC safety net."""
 
@@ -204,3 +259,10 @@ class AdaptiveEscapePolicy(RoutingPolicy):
             adaptive=True,
             max_misroutes=self.max_misroutes,
         )
+
+    def reroute_choice(self, options, rng):
+        """Degraded-mode escape hops spread over the live options; the
+        adaptive layer's credit scoring happens before this is reached."""
+        if rng is None or len(options) == 1:
+            return options[0]
+        return options[rng.randrange(len(options))]

@@ -74,3 +74,10 @@ class RandomizedMinimalPolicy(RoutingPolicy):
         return RoutePlan(policy=self.name, phases=(
             RoutePhase(target=self.torus.normalize(dst), dim_order=order,
                        vc_class=source_vc_class(source)),))
+
+    def reroute_choice(self, options, rng):
+        """Spread degraded-mode hops uniformly over the live options —
+        the randomized flavor, kept under faults."""
+        if rng is None or len(options) == 1:
+            return options[0]
+        return options[rng.randrange(len(options))]

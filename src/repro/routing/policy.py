@@ -168,6 +168,19 @@ class RoutingPolicy:
         """
         raise NotImplementedError
 
+    def reroute_choice(self, options: List[Tuple[int, int]],
+                       rng: Optional[random.Random]) -> Tuple[int, int]:
+        """Pick one live distance-decreasing direction under faults.
+
+        Called by :class:`~repro.faults.reroute.FaultAdviser` with the
+        (nonempty, DIRECTIONS-ordered) set of directions that strictly
+        decrease live-graph distance; never with healthy fabrics.  The
+        base picks the first — the deterministic flavor of fixed
+        dimension-order policies; randomized/adaptive policies override
+        to spread load over the options via ``rng``.
+        """
+        return options[0]
+
 
 # ---------------------------------------------------------------------------
 # Per-hop resolution (called by the chip at every torus routing decision).
@@ -175,7 +188,8 @@ class RoutingPolicy:
 
 
 def next_request_direction(packet, coord: Coord, torus: Torus3D,
-                           probe=None, rng=None) -> Optional[Tuple[int, int]]:
+                           probe=None, rng=None,
+                           faults=None) -> Optional[Tuple[int, int]]:
     """The request packet's next torus direction from ``coord``.
 
     Resolves the current phase of ``packet.route`` (falling back to a
@@ -188,9 +202,20 @@ def next_request_direction(packet, coord: Coord, torus: Torus3D,
     (:data:`repro.routing.escape.AdaptiveVcProbe`) and ``rng`` breaks
     score ties; both are ignored by non-adaptive plans, so the RNG
     streams of the oblivious policies are untouched by their presence.
+
+    ``faults`` is the machine's :class:`~repro.faults.reroute.
+    FaultAdviser` when faults are active (chips pass it only then).
+    Non-adaptive phases then follow its live-shortest-path table for
+    *every* hop — following the table only at broken hops would let two
+    nodes straddling a dead ring link ping-pong forever — while
+    adaptive plans keep their per-hop chooser and use the table just
+    for the escape leg (inside ``adaptive_escape_direction``).
     """
     plan: Optional[RoutePlan] = getattr(packet, "route", None)
     if plan is None:
+        if faults is not None:
+            return faults.route_direction(packet, coord, packet.dst_node,
+                                          rng)
         return _minimal_direction(coord, packet.dst_node, packet.dim_order,
                                   torus)
     while (plan.phase_index < len(plan.phases) - 1
@@ -204,8 +229,11 @@ def next_request_direction(packet, coord: Coord, torus: Torus3D,
         from .escape import adaptive_escape_direction
 
         return adaptive_escape_direction(packet, coord, torus,
-                                         probe=probe, rng=rng)
+                                         probe=probe, rng=rng,
+                                         faults=faults)
     phase = plan.current
+    if faults is not None:
+        return faults.route_direction(packet, coord, phase.target, rng)
     return _minimal_direction(coord, phase.target, phase.dim_order, torus)
 
 

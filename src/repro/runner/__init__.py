@@ -18,6 +18,7 @@ after ``pip install -e .``).
 """
 
 from .cache import CacheStats, ResultCache, canonical_json, canonicalize, config_digest
+from .catalog import RunSurface, get_surface, list_surfaces, register_surface
 from .execute import RunResult, SweepResult, run_sweep, run_sweeps
 from .experiment import (
     Experiment,
@@ -36,6 +37,10 @@ __all__ = [
     "canonical_json",
     "canonicalize",
     "config_digest",
+    "RunSurface",
+    "get_surface",
+    "list_surfaces",
+    "register_surface",
     "RunResult",
     "SweepResult",
     "run_sweep",

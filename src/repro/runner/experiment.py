@@ -21,29 +21,51 @@ RunFn = Callable[..., dict]
 class Experiment:
     """A named, parameterized, cacheable unit of simulation work.
 
-    ``fn`` must be picklable by reference (a module-level function) and
-    must not depend on process-local state: the runner may execute it in
-    a worker process.  Bump ``version`` when ``fn``'s semantics change
+    The run entry point is either a :class:`~repro.runner.catalog.
+    RunSurface` passed as ``surface`` (the built-in experiments: a
+    registered, importable-by-name surface that maps a params dict to a
+    result dict) or a plain ``fn`` (custom registrations).  Either must
+    be picklable and free of process-local state: the runner may execute
+    it in a worker process.  Bump ``version`` when run semantics change
     so stale cache entries stop matching.  ``param_names`` declares the
-    parameter names ``fn`` accepts (the built-in wrappers hide their
-    surface's signature behind ``**params``) so overrides can be
-    validated up front; ``None`` disables validation.  ``surface``
-    names the underlying run-surface function (dotted path) for the
-    generated experiment catalog (``repro-runner list --markdown``).
+    accepted parameter names so overrides can be validated up front; it
+    defaults to the surface's declaration, and ``None`` (no surface, no
+    declaration) disables validation.
     """
 
     name: str
-    fn: RunFn
-    grid: ParameterGrid
+    fn: Optional[RunFn] = None
+    grid: Optional[ParameterGrid] = None
     description: str = ""
     version: int = 1
     smoke_grid: Optional[ParameterGrid] = None
     param_names: Optional[Tuple[str, ...]] = None
-    surface: str = ""
+    #: A RunSurface (callable, preferred) or a bare dotted path string
+    #: (documentation only — ``fn`` must then carry the behavior).
+    surface: object = ""
+
+    def __post_init__(self) -> None:
+        if self.grid is None:
+            raise TypeError(f"experiment {self.name!r} requires a grid")
+        if self.fn is None and not callable(self.surface):
+            raise TypeError(
+                f"experiment {self.name!r} needs fn= or a callable "
+                "surface= (a RunSurface)")
+        if self.param_names is None:
+            declared = getattr(self.surface, "param_names", None)
+            if declared is not None:
+                object.__setattr__(self, "param_names", tuple(declared))
+
+    @property
+    def surface_name(self) -> str:
+        """The surface's dotted path, or ``""`` when undeclared."""
+        return str(self.surface) if self.surface else ""
 
     def run(self, params: Mapping[str, object]) -> dict:
         """Execute one configuration."""
-        return self.fn(**dict(params))
+        if self.fn is not None:
+            return self.fn(**dict(params))
+        return self.surface(dict(params))
 
     def validate_params(self, params: Mapping[str, object]) -> None:
         """Reject parameter names ``fn`` does not accept.

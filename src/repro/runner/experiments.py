@@ -1,62 +1,186 @@
 """Built-in experiments: the paper's figure grids as declarative sweeps.
 
-Each experiment wraps one pure run surface (``repro.netsim.surface``,
-``repro.fence.surface``, ``repro.fullsim.surface``) and declares the
-parameter grid the corresponding benchmark sweeps — the single source
-of truth shared by ``benchmarks/``, ``examples/``, and the
-``python -m repro.runner`` CLI.  Smoke grids are tiny variants used by
-CI and tests to exercise the parallel path in seconds.
+Each experiment binds one registered :class:`~repro.runner.catalog.
+RunSurface` (``repro.netsim.surface``, ``repro.fence.surface``,
+``repro.traffic.surface``, ``repro.workload.surface``,
+``repro.faults.surface``, ``repro.fullsim.surface``) to the parameter
+grid the corresponding benchmark sweeps — the single source of truth
+shared by ``benchmarks/``, ``examples/``, and the
+``python -m repro.runner`` CLI.  Surfaces resolve their functions by
+dotted path at call time, so importing the registry stays cheap and
+workers only load what they execute.  Smoke grids are tiny variants
+used by CI and tests to exercise the parallel path in seconds.
 """
 
 from __future__ import annotations
 
+from .catalog import RunSurface, register_surface
 from .experiment import Experiment, Sweep, register
 from .grid import ParameterGrid
 
-# Run surfaces are imported lazily inside the wrappers so importing the
-# registry stays cheap and workers only load what they execute.
+# ---------------------------------------------------------------------------
+# Run surfaces: every experiment entry point, one registry.
+# ---------------------------------------------------------------------------
 
+LATENCY_CURVE_SURFACE = register_surface(RunSurface(
+    name="repro.netsim.surface.measure_latency_curve",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "machine_seed",
+        "harness_seed",
+        "max_hops",
+        "samples_per_hop",
+    ),
+    description="One-way ping latency per hop count on a fresh machine",
+))
 
-def _fig5_latency(**params: object) -> dict:
-    from ..netsim.surface import measure_latency_curve
+MIN_ONE_HOP_SURFACE = register_surface(RunSurface(
+    name="repro.netsim.surface.measure_min_one_hop",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "machine_seed",
+        "harness_seed",
+        "samples",
+    ),
+    description="Best-placement minimum single-hop latency",
+))
 
-    return measure_latency_curve(**params)
+FENCE_CURVE_SURFACE = register_surface(RunSurface(
+    name="repro.fence.surface.measure_fence_curve",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "seed",
+        "hops",
+        "max_hops",
+        "pattern",
+        "request_vcs",
+        "slices",
+    ),
+    description="Fence barrier latency per synchronization domain",
+))
 
+WATER_SYSTEM_SURFACE = register_surface(RunSurface(
+    name="repro.fullsim.surface.evaluate_water_system",
+    param_names=(
+        "n_atoms",
+        "steps",
+        "seed",
+        "node_dims",
+        "pcache_warmup_steps",
+    ),
+    description="Water-box traffic reduction and application speedup",
+))
 
-def _min_one_hop(**params: object) -> dict:
-    from ..netsim.surface import measure_min_one_hop
+LOAD_POINT_SURFACE = register_surface(RunSurface(
+    name="repro.traffic.surface.measure_load_point",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "pattern",
+        "routing",
+        "offered_load",
+        "machine_seed",
+        "traffic_seed",
+        "process",
+        "read_fraction",
+        "warmup_ns",
+        "measure_ns",
+        "drain_ns",
+        "hotspot_fraction",
+    ),
+    description="One open-loop synthetic-traffic load point",
+))
 
-    return measure_min_one_hop(**params)
+WINDOW_POINT_SURFACE = register_surface(RunSurface(
+    name="repro.workload.surface.measure_window_point",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "pattern",
+        "routing",
+        "window",
+        "machine_seed",
+        "workload_seed",
+        "read_fraction",
+        "think_ns",
+        "warmup_ns",
+        "measure_ns",
+        "drain_ns",
+        "hotspot_fraction",
+    ),
+    description="One closed-loop fixed-outstanding-window point",
+))
 
+PHASE_LOOP_SURFACE = register_surface(RunSurface(
+    name="repro.workload.surface.measure_phase_loop",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "pattern",
+        "routing",
+        "messages_per_node",
+        "window",
+        "iterations",
+        "fence_hops",
+        "machine_seed",
+        "workload_seed",
+        "read_fraction",
+        "hotspot_fraction",
+    ),
+    description="One fence-synchronized phase workload",
+))
 
-def _fig11_fence(**params: object) -> dict:
-    from ..fence.surface import measure_fence_curve
+FAULT_LOAD_POINT_SURFACE = register_surface(RunSurface(
+    name="repro.faults.surface.measure_fault_load_point",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "pattern",
+        "routing",
+        "offered_load",
+        "num_faults",
+        "fault_seed",
+        "fault_kind",
+        "machine_seed",
+        "traffic_seed",
+        "process",
+        "warmup_ns",
+        "measure_ns",
+        "drain_ns",
+        "hotspot_fraction",
+    ),
+    description="One open-loop load point on a fault-degraded machine",
+))
 
-    return measure_fence_curve(**params)
-
-
-def _fig9_water(**params: object) -> dict:
-    from ..fullsim.surface import evaluate_water_system
-
-    return evaluate_water_system(**params)
-
-
-def _load_point(**params: object) -> dict:
-    from ..traffic.surface import measure_load_point
-
-    return measure_load_point(**params)
-
-
-def _window_point(**params: object) -> dict:
-    from ..workload.surface import measure_window_point
-
-    return measure_window_point(**params)
-
-
-def _phase_loop(**params: object) -> dict:
-    from ..workload.surface import measure_phase_loop
-
-    return measure_phase_loop(**params)
+FAULT_PHASE_LOOP_SURFACE = register_surface(RunSurface(
+    name="repro.faults.surface.measure_fault_phase_loop",
+    param_names=(
+        "dims",
+        "chip_cols",
+        "chip_rows",
+        "pattern",
+        "routing",
+        "messages_per_node",
+        "window",
+        "iterations",
+        "fence_hops",
+        "num_faults",
+        "fault_seed",
+        "machine_seed",
+        "workload_seed",
+    ),
+    description="One fenced phase workload on a fault-degraded machine",
+))
 
 
 # ---------------------------------------------------------------------------
@@ -88,28 +212,17 @@ FIG5_SMOKE_GRID = ParameterGrid(
 register(
     Experiment(
         name="fig5_latency",
-        fn=_fig5_latency,
         grid=FIG5_GRID,
         smoke_grid=FIG5_SMOKE_GRID,
         description="One-way end-to-end latency vs inter-node hops (Figure 5)",
         version=2,  # v2: results gained per-hop percentile summaries
-        surface="repro.netsim.surface.measure_latency_curve",
-        param_names=(
-            "dims",
-            "chip_cols",
-            "chip_rows",
-            "machine_seed",
-            "harness_seed",
-            "max_hops",
-            "samples_per_hop",
-        ),
+        surface=LATENCY_CURVE_SURFACE,
     )
 )
 
 register(
     Experiment(
         name="min_one_hop",
-        fn=_min_one_hop,
         grid=ParameterGrid({"machine_seed": 42, "harness_seed": 18, "samples": 30}),
         smoke_grid=ParameterGrid(
             {
@@ -122,15 +235,7 @@ register(
             }
         ),
         description="Best-placement minimum single-hop latency (~55 ns)",
-        surface="repro.netsim.surface.measure_min_one_hop",
-        param_names=(
-            "dims",
-            "chip_cols",
-            "chip_rows",
-            "machine_seed",
-            "harness_seed",
-            "samples",
-        ),
+        surface=MIN_ONE_HOP_SURFACE,
     )
 )
 
@@ -153,22 +258,10 @@ FIG11_SMOKE_GRID = ParameterGrid(
 register(
     Experiment(
         name="fig11_fence",
-        fn=_fig11_fence,
         grid=FIG11_GRID,
         smoke_grid=FIG11_SMOKE_GRID,
         description="Network-fence barrier latency vs hop count (Figure 11)",
-        surface="repro.fence.surface.measure_fence_curve",
-        param_names=(
-            "dims",
-            "chip_cols",
-            "chip_rows",
-            "seed",
-            "hops",
-            "max_hops",
-            "pattern",
-            "request_vcs",
-            "slices",
-        ),
+        surface=FENCE_CURVE_SURFACE,
     )
 )
 
@@ -185,18 +278,10 @@ FIG9_SMOKE_GRID = ParameterGrid({"n_atoms": [256, 512], "steps": 5})
 register(
     Experiment(
         name="fig9_water",
-        fn=_fig9_water,
         grid=FIG9_GRID,
         smoke_grid=FIG9_SMOKE_GRID,
         description="Water-box traffic reduction and speedup (Figures 9a/9b)",
-        surface="repro.fullsim.surface.evaluate_water_system",
-        param_names=(
-            "n_atoms",
-            "steps",
-            "seed",
-            "node_dims",
-            "pcache_warmup_steps",
-        ),
+        surface=WATER_SYSTEM_SURFACE,
     )
 )
 
@@ -257,29 +342,9 @@ LOAD_SWEEP_SMOKE_GRID = ParameterGrid(
     }
 )
 
-#: Parameter names measure_load_point accepts; shared by the load-sweep
-#: and route-ablation experiments for ``run --set`` validation.
-LOAD_POINT_PARAMS = (
-    "dims",
-    "chip_cols",
-    "chip_rows",
-    "pattern",
-    "routing",
-    "offered_load",
-    "machine_seed",
-    "traffic_seed",
-    "process",
-    "read_fraction",
-    "warmup_ns",
-    "measure_ns",
-    "drain_ns",
-    "hotspot_fraction",
-)
-
 register(
     Experiment(
         name="load_sweep",
-        fn=_load_point,
         grid=_load_sweep_grid("uniform"),
         smoke_grid=LOAD_SWEEP_SMOKE_GRID,
         description="Open-loop synthetic-traffic load point "
@@ -287,8 +352,7 @@ register(
         # v3: adaptive-escape routing + the six-VC link map (escape /
         # response / adaptive split).
         version=3,
-        surface="repro.traffic.surface.measure_load_point",
-        param_names=LOAD_POINT_PARAMS,
+        surface=LOAD_POINT_SURFACE,
     )
 )
 
@@ -361,14 +425,12 @@ ROUTE_ABLATION_SMOKE_GRID = ParameterGrid(
 register(
     Experiment(
         name="route_ablation",
-        fn=_load_point,
         grid=_route_ablation_grid("randomized-minimal"),
         smoke_grid=ROUTE_ABLATION_SMOKE_GRID,
         description="Open-loop load point under a chosen routing policy "
         "(routing ablations)",
         version=2,  # v2: adaptive-escape routing + the six-VC link map
-        surface="repro.traffic.surface.measure_load_point",
-        param_names=LOAD_POINT_PARAMS,
+        surface=LOAD_POINT_SURFACE,
     )
 )
 
@@ -425,35 +487,15 @@ CLOSED_LOOP_SMOKE_GRID = ParameterGrid(
     }
 )
 
-#: Parameter names measure_window_point accepts, for --set validation.
-WINDOW_POINT_PARAMS = (
-    "dims",
-    "chip_cols",
-    "chip_rows",
-    "pattern",
-    "routing",
-    "window",
-    "machine_seed",
-    "workload_seed",
-    "read_fraction",
-    "think_ns",
-    "warmup_ns",
-    "measure_ns",
-    "drain_ns",
-    "hotspot_fraction",
-)
-
 register(
     Experiment(
         name="closed_loop",
-        fn=_window_point,
         grid=_closed_loop_grid("uniform"),
         smoke_grid=CLOSED_LOOP_SMOKE_GRID,
         description="Closed-loop fixed-outstanding-window point "
         "(throughput/latency vs window)",
         version=2,  # v2: adaptive-escape routing + the six-VC link map
-        surface="repro.workload.surface.measure_window_point",
-        param_names=WINDOW_POINT_PARAMS,
+        surface=WINDOW_POINT_SURFACE,
     )
 )
 
@@ -510,34 +552,15 @@ PHASE_LOOP_SMOKE_GRID = ParameterGrid(
     }
 )
 
-#: Parameter names measure_phase_loop accepts, for --set validation.
-PHASE_LOOP_PARAMS = (
-    "dims",
-    "chip_cols",
-    "chip_rows",
-    "pattern",
-    "routing",
-    "messages_per_node",
-    "window",
-    "iterations",
-    "fence_hops",
-    "machine_seed",
-    "workload_seed",
-    "read_fraction",
-    "hotspot_fraction",
-)
-
 register(
     Experiment(
         name="phase_loop",
-        fn=_phase_loop,
         grid=_phase_loop_grid("halo"),
         smoke_grid=PHASE_LOOP_SMOKE_GRID,
         description="Fence-synchronized phase workload "
         "(MD-timestep iteration time per routing policy)",
         version=2,  # v2: adaptive-escape routing + the six-VC link map
-        surface="repro.workload.surface.measure_phase_loop",
-        param_names=PHASE_LOOP_PARAMS,
+        surface=PHASE_LOOP_SURFACE,
     )
 )
 
@@ -548,6 +571,146 @@ PHASE_LOOP_SWEEPS = {
         label=f"phase-loop-{pattern}",
     )
     for pattern in PHASE_LOOP_PATTERNS
+}
+
+# ---------------------------------------------------------------------------
+# Fault sweeps: degraded-mode resilience per routing policy.
+# ---------------------------------------------------------------------------
+
+#: Policies that get registered ``fault-sweep-<policy>`` and
+#: ``fault-phase-loop-<policy>`` sweeps — the deterministic table-driven
+#: baseline, the paper's randomized-minimal default, and the adaptive
+#: policy whose misroute budget is the degraded-mode story.
+FAULT_SWEEP_POLICIES = (
+    "fixed-xyz",
+    "randomized-minimal",
+    "adaptive-escape",
+)
+
+#: The fault-count axis.  Every count is a connectivity-preserving
+#: dead-link set derived from ``fault_seed`` (the sampler resamples any
+#: partitioning draw), so the sweep measures routing around damage,
+#: never unreachable destinations.  12 dead cables out of 24 on the
+#: 2x2x2 torus is the deep-damage end where policies separate hard.
+FAULT_SWEEP_COUNTS = [0, 2, 4, 6, 8, 10, 12]
+
+#: Saturating offered load: with headroom to spare every policy hides
+#: the damage, at line rate the surviving cables are the bottleneck and
+#: the accepted-load gap between policies is the resilience metric.
+FAULT_SWEEP_LOAD = 1.0
+
+
+def _fault_sweep_grid(policy: str) -> ParameterGrid:
+    return ParameterGrid(
+        {
+            "dims": [(2, 2, 2)],
+            "chip_cols": 6,
+            "chip_rows": 6,
+            "pattern": "uniform",
+            "routing": policy,
+            "offered_load": FAULT_SWEEP_LOAD,
+            "num_faults": list(FAULT_SWEEP_COUNTS),
+            "fault_seed": 1,
+            "machine_seed": 0,
+            "traffic_seed": 0,
+            "warmup_ns": 200.0,
+            "measure_ns": 800.0,
+        }
+    )
+
+
+FAULT_SWEEP_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "uniform",
+        "routing": ["fixed-xyz", "adaptive-escape"],
+        "offered_load": 0.3,
+        "num_faults": [0, 4],
+        "fault_seed": 1,
+        "machine_seed": 0,
+        "traffic_seed": 0,
+        "warmup_ns": 100.0,
+        "measure_ns": 300.0,
+    }
+)
+
+register(
+    Experiment(
+        name="fault_sweep",
+        grid=_fault_sweep_grid("randomized-minimal"),
+        smoke_grid=FAULT_SWEEP_SMOKE_GRID,
+        description="Open-loop accepted load vs dead-cable count "
+        "(degraded-mode resilience per routing policy)",
+        surface=FAULT_LOAD_POINT_SURFACE,
+    )
+)
+
+FAULT_SWEEPS = {
+    f"fault-sweep-{policy}": Sweep(
+        "fault_sweep",
+        _fault_sweep_grid(policy),
+        label=f"fault-sweep-{policy}",
+    )
+    for policy in FAULT_SWEEP_POLICIES
+}
+
+
+def _fault_phase_loop_grid(policy: str) -> ParameterGrid:
+    return ParameterGrid(
+        {
+            "dims": [(2, 2, 2)],
+            "chip_cols": 6,
+            "chip_rows": 6,
+            "pattern": "halo",
+            "routing": policy,
+            "messages_per_node": 8,
+            "window": 4,
+            "iterations": 2,
+            "num_faults": [0, 2, 4, 6],
+            "fault_seed": 1,
+            "machine_seed": 0,
+            "workload_seed": 0,
+        }
+    )
+
+
+FAULT_PHASE_LOOP_SMOKE_GRID = ParameterGrid(
+    {
+        "dims": [(2, 2, 2)],
+        "chip_cols": 6,
+        "chip_rows": 6,
+        "pattern": "halo",
+        "routing": ["adaptive-escape"],
+        "messages_per_node": 4,
+        "window": 2,
+        "iterations": 1,
+        "num_faults": [0, 2],
+        "fault_seed": 1,
+        "machine_seed": 0,
+        "workload_seed": 0,
+    }
+)
+
+register(
+    Experiment(
+        name="fault_phase_loop",
+        grid=_fault_phase_loop_grid("randomized-minimal"),
+        smoke_grid=FAULT_PHASE_LOOP_SMOKE_GRID,
+        description="Fenced phase-loop iteration time vs dead-cable count "
+        "(degraded-mode iteration-time growth per routing policy)",
+        surface=FAULT_PHASE_LOOP_SURFACE,
+    )
+)
+
+FAULT_PHASE_LOOP_SWEEPS = {
+    f"fault-phase-loop-{policy}": Sweep(
+        "fault_phase_loop",
+        _fault_phase_loop_grid(policy),
+        label=f"fault-phase-loop-{policy}",
+    )
+    for policy in FAULT_SWEEP_POLICIES
 }
 
 # ---------------------------------------------------------------------------
@@ -651,6 +814,8 @@ BUILTIN_SWEEPS = {
         *ROUTE_ABLATIONS.values(),
         *CLOSED_LOOP_SWEEPS.values(),
         *PHASE_LOOP_SWEEPS.values(),
+        *FAULT_SWEEPS.values(),
+        *FAULT_PHASE_LOOP_SWEEPS.values(),
     )
 }
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..netsim.config import MachineConfig
 from ..netsim.surface import build_machine
 from ..traffic.patterns import make_pattern
 from .phases import PhaseLoopHarness, md_timestep_phases
@@ -51,7 +52,9 @@ def measure_window_point(
     percentiles, and mean outstanding occupancy for ``window`` requests
     in flight per node under the named pattern and routing policy.
     """
-    machine = build_machine(dims, chip_cols, chip_rows, machine_seed, routing=routing)
+    machine = build_machine(config=MachineConfig(
+        dims=tuple(dims), chip_cols=chip_cols, chip_rows=chip_rows,
+        seed=machine_seed, routing=routing))
     spatial = make_pattern(pattern, machine.torus, fraction=hotspot_fraction)
     harness = FixedWindowHarness(
         machine,
@@ -115,7 +118,9 @@ def measure_phase_loop(
     per-iteration time, per-phase burst/fence breakdown, and the
     fence-wait fraction.
     """
-    machine = build_machine(dims, chip_cols, chip_rows, machine_seed, routing=routing)
+    machine = build_machine(config=MachineConfig(
+        dims=tuple(dims), chip_cols=chip_cols, chip_rows=chip_rows,
+        seed=machine_seed, routing=routing))
     spatial = make_pattern(pattern, machine.torus, fraction=hotspot_fraction)
     phases = md_timestep_phases(
         machine,

@@ -5,8 +5,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import FaultEvent, FaultSchedule, random_fault_schedule
 from repro.fence import (
     FenceConfigError,
+    FenceDomainError,
     FenceEdge,
     FenceEngine,
     FenceMergeUnit,
@@ -16,7 +18,7 @@ from repro.fence import (
     configure_fence_network,
     run_fence_flood,
 )
-from repro.netsim import NetworkMachine
+from repro.netsim import MachineConfig, NetworkMachine
 
 
 class TestFenceMergeUnit:
@@ -198,3 +200,56 @@ class TestFenceEngine:
         timing = FenceTiming(aggregation_ns=10.0, delivery_ns=5.0)
         engine = FenceEngine(machine, timing=timing)
         assert engine.barrier_latency(0) == pytest.approx(15.0)
+
+
+def faulted_fence_machine(schedule):
+    return NetworkMachine(config=MachineConfig(
+        dims=(2, 2, 2), chip_cols=6, chip_rows=6, seed=21, faults=schedule))
+
+
+class TestFenceDomains:
+    """Unreachable synchronization domains fail fast with a diagnostic
+    instead of hanging a quiesced simulation."""
+
+    def test_dead_router_raises_diagnostic_before_simulating(self):
+        machine = faulted_fence_machine(FaultSchedule((
+            FaultEvent(kind="dead-router", node=(1, 1, 1)),)))
+        engine = FenceEngine(machine)
+        with pytest.raises(FenceDomainError, match="dead router"):
+            engine.barrier_latency(2)
+        # The check runs at start_fence: zero simulated slices burned.
+        assert machine.sim.now == 0.0
+
+    def test_zero_hop_barrier_survives_dead_routers(self):
+        machine = faulted_fence_machine(FaultSchedule((
+            FaultEvent(kind="dead-router", node=(1, 1, 1)),)))
+        engine = FenceEngine(machine)
+        assert engine.barrier_latency(0) > 0
+
+    def test_intact_domain_completes_under_unrelated_faults(self):
+        machine = faulted_fence_machine(
+            random_fault_schedule((2, 2, 2), 2, seed=1))
+        healthy = NetworkMachine(config=MachineConfig(
+            dims=(2, 2, 2), chip_cols=6, chip_rows=6, seed=21))
+        faulted_latency = FenceEngine(machine).barrier_latency(2)
+        assert faulted_latency >= FenceEngine(healthy).barrier_latency(2)
+
+    def test_pair_beyond_round_budget_detected(self):
+        # Strip (0, 0, 0) down to a single live cable (toward (1, 0, 0)):
+        # its torus-1-hop neighbors are now 3 live hops away, so a 1-hop
+        # fence domain is unsatisfiable while the fabric stays connected.
+        isolating = FaultSchedule((
+            FaultEvent(kind="dead-link", node=(0, 0, 0), axis=0),
+            FaultEvent(kind="dead-link", node=(0, 0, 0), axis=1),
+            FaultEvent(kind="dead-link", node=(0, 1, 0), axis=1),
+            FaultEvent(kind="dead-link", node=(0, 0, 0), axis=2),
+            FaultEvent(kind="dead-link", node=(0, 0, 1), axis=2),
+        ))
+        machine = faulted_fence_machine(isolating)
+        engine = FenceEngine(machine)
+        with pytest.raises(FenceDomainError, match="partitioned"):
+            engine.barrier_latency(1)
+        # Widened to the live diameter, the same engine still completes.
+        from repro.faults.surface import live_fence_diameter
+
+        assert engine.barrier_latency(live_fence_diameter(machine)) > 0

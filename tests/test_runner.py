@@ -145,6 +145,37 @@ class TestCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_interleaved_writers_never_tear_an_entry(self, tmp_path,
+                                                     monkeypatch):
+        # Two processes finishing the same config race their writes to
+        # one digest path.  The tmp+rename protocol must leave a valid
+        # entry (one writer's complete payload, never a byte mix) and
+        # no stray tmp files.  Simulate the worst interleaving: writer B
+        # completes an entire put between A's tmp write and A's rename.
+        import os
+
+        import repro.runner.cache as cache_mod
+
+        root = tmp_path / "shared"
+        writer_a = ResultCache(root)
+        writer_b = ResultCache(root)
+        params = {"n": 1}
+        real_replace = os.replace
+
+        def interleaving_replace(src, dst):
+            monkeypatch.setattr(cache_mod.os, "replace", real_replace)
+            writer_b.put("exp", params, {"winner": "b"})
+            real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", interleaving_replace)
+        path = writer_a.put("exp", params, {"winner": "a"})
+        # The last rename wins wholesale; the file is valid JSON.
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["result"] == {"winner": "a"}
+        assert writer_b.get("exp", params)["result"] == {"winner": "a"}
+        assert not list(root.rglob("*.tmp"))
+        assert len(writer_a) == 1
+
 
 # ---------------------------------------------------------------------------
 # The registry and sweep execution.
@@ -539,14 +570,11 @@ class TestExperimentCatalog:
         # The catalog documents Experiment.surface verbatim; make sure
         # every declared dotted path actually imports, so the committed
         # docs can never point readers at a nonexistent function.
-        import importlib
-
         for experiment in list_experiments():
             if not experiment.surface:
                 continue
-            module_name, _, attr = experiment.surface.rpartition(".")
-            module = importlib.import_module(module_name)
-            assert callable(getattr(module, attr)), experiment.surface
+            assert callable(experiment.surface.resolve()), \
+                experiment.surface_name
 
     def test_catalog_marks_union_grid_swept_axes(self):
         # The route-ablation union grids sweep pattern/dims across their
@@ -586,6 +614,128 @@ class TestExperimentCatalog:
             "docs/experiments.md is stale; regenerate with "
             "`repro-runner list --markdown > docs/experiments.md`"
         )
+
+
+# ---------------------------------------------------------------------------
+# Run surfaces: the registry and the Experiment fallback.
+# ---------------------------------------------------------------------------
+
+
+class TestRunSurfaces:
+    def test_builtin_surfaces_registered_and_resolvable(self):
+        from repro.runner import get_surface, list_surfaces
+
+        names = [surface.name for surface in list_surfaces()]
+        assert names == sorted(names)
+        assert "repro.traffic.surface.measure_load_point" in names
+        assert "repro.faults.surface.measure_fault_load_point" in names
+        surface = get_surface("repro.traffic.surface.measure_load_point")
+        assert callable(surface.resolve())
+        assert str(surface) == surface.name
+
+    def test_unknown_surface_lists_known(self):
+        from repro.runner import get_surface
+
+        with pytest.raises(KeyError, match="measure_load_point"):
+            get_surface("nope.nothing")
+
+    def test_surface_rejects_undeclared_params(self):
+        from repro.runner import get_surface
+
+        surface = get_surface("repro.fence.surface.measure_fence_curve")
+        with pytest.raises(ValueError, match="max_hopss"):
+            surface({"max_hopss": 2})
+
+    def test_surface_call_runs_the_function(self):
+        from repro.runner import get_surface
+
+        surface = get_surface("repro.fence.surface.measure_fence_curve")
+        result = surface({"dims": (2, 2, 2), "chip_cols": 6, "chip_rows": 6,
+                          "max_hops": 0})
+        assert result["num_nodes"] == 8
+
+    def test_experiment_inherits_surface_param_names(self):
+        experiment = get_experiment("load_sweep")
+        assert experiment.fn is None
+        assert "offered_load" in experiment.param_names
+        assert experiment.surface_name == \
+            "repro.traffic.surface.measure_load_point"
+
+    def test_experiment_requires_fn_or_callable_surface(self):
+        with pytest.raises(TypeError, match="fn= or a callable"):
+            Experiment(name="bare", grid=ParameterGrid({}),
+                       surface="dotted.path.only")
+        with pytest.raises(TypeError, match="grid"):
+            Experiment(name="gridless", fn=lambda **kw: {})
+
+    def test_duplicate_surface_registration_rejected(self):
+        from repro.runner import RunSurface, get_surface, register_surface
+
+        existing = get_surface("repro.fence.surface.measure_fence_curve")
+        with pytest.raises(ValueError, match="already registered"):
+            register_surface(RunSurface(existing.name, ("x",)))
+        assert register_surface(existing, replace=True) is existing
+
+
+# ---------------------------------------------------------------------------
+# Fault sweeps: degraded-mode experiments and their smoke grids.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSweeps:
+    def test_sweeps_registered_per_policy(self):
+        from repro.runner.experiments import (
+            BUILTIN_SWEEPS,
+            FAULT_PHASE_LOOP_SWEEPS,
+            FAULT_SWEEP_POLICIES,
+            FAULT_SWEEPS,
+        )
+
+        for policy in FAULT_SWEEP_POLICIES:
+            name = f"fault-sweep-{policy}"
+            assert name in FAULT_SWEEPS and name in BUILTIN_SWEEPS
+            sweep = BUILTIN_SWEEPS[name]
+            assert sweep.experiment == "fault_sweep"
+            assert all(p["routing"] == policy for p in sweep.grid)
+            assert any(p["num_faults"] > 0 for p in sweep.grid)
+            loop = BUILTIN_SWEEPS[f"fault-phase-loop-{policy}"]
+            assert loop.experiment == "fault_phase_loop"
+        assert "fault-sweep-adaptive-escape" in BUILTIN_SWEEPS
+        assert "fault-sweep-fixed-xyz" in BUILTIN_SWEEPS
+
+    def test_zero_fault_grid_point_is_the_healthy_baseline(self):
+        from repro.runner.experiments import FAULT_SWEEPS
+
+        grid = FAULT_SWEEPS["fault-sweep-adaptive-escape"].grid
+        assert any(p["num_faults"] == 0 for p in grid)
+
+    def test_smoke_grid_runs_and_caches(self, tmp_path):
+        from repro.runner.experiments import FAULT_SWEEP_SMOKE_GRID
+
+        sweep = Sweep("fault_sweep", FAULT_SWEEP_SMOKE_GRID,
+                      label="fault-smoke")
+        cache = ResultCache(tmp_path)
+        serial = run_sweep(sweep, jobs=1, cache=cache)
+        assert serial.cache_misses == len(FAULT_SWEEP_SMOKE_GRID)
+        parallel = run_sweep(sweep, jobs=2, cache=cache)
+        assert parallel.cache_hits == len(FAULT_SWEEP_SMOKE_GRID)
+        assert json.dumps([r.record() for r in serial.runs]) == json.dumps(
+            [r.record() for r in parallel.runs]
+        )
+        for run in serial.runs:
+            faults = run.result["faults"]
+            assert len(faults) == run.params["num_faults"]
+            assert run.result["accepted_load"] > 0
+
+    def test_fault_phase_loop_smoke_grid_runs(self, tmp_path):
+        from repro.runner.experiments import FAULT_PHASE_LOOP_SMOKE_GRID
+
+        sweep = Sweep("fault_phase_loop", FAULT_PHASE_LOOP_SMOKE_GRID,
+                      label="fault-phase-smoke")
+        result = run_sweep(sweep, jobs=2, cache=ResultCache(tmp_path))
+        for run in result.runs:
+            assert run.result["mean_iteration_ns"] > 0
+            assert len(run.result["faults"]) == run.params["num_faults"]
 
 
 # ---------------------------------------------------------------------------
