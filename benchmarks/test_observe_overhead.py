@@ -1,0 +1,92 @@
+"""The observability overhead contract (repro.observe).
+
+Two halves:
+
+* **Disabled mode is structurally free** — a machine built without an
+  observe config creates no observer, no link monitors, and no trace
+  identities; its hot paths pay only ``is not None`` checks, so its
+  simulated trajectory and result dicts are trivially unchanged.
+* **Enabled mode is bounded and invisible** — full metrics + tracing
+  may cost host wall-clock, but the result dict stays byte-identical
+  and the slowdown stays within a generous factor (the paper-repro
+  sweeps must remain runnable with observation on).
+"""
+
+import json
+import time
+
+from repro.netsim import MachineConfig, NetworkMachine
+from repro.observe import ObserveConfig
+from repro.runner import get_experiment
+
+PHASE_PARAMS = {
+    "dims": (2, 1, 1),
+    "chip_cols": 6,
+    "chip_rows": 6,
+    "pattern": "uniform",
+    "routing": "randomized-minimal",
+    "messages_per_node": 6,
+    "window": 2,
+    "iterations": 1,
+    "machine_seed": 7,
+    "workload_seed": 11,
+}
+
+
+def test_disabled_mode_builds_no_instrumentation():
+    machine = NetworkMachine(config=MachineConfig(
+        dims=(2, 2, 2), chip_cols=6, chip_rows=6, seed=21))
+    assert machine.observer is None
+    for chip in machine.chips.values():
+        assert chip.observer is None
+        assert chip._route_events is None
+        for ca in chip.channel_adapters.values():
+            link = ca.output_or_none("channel")
+            if link is not None:
+                assert link.monitor is None
+
+
+def test_disabled_run_wall_clock(benchmark):
+    """Pins the unobserved phase-loop wall clock for cross-rev diffing."""
+    experiment = get_experiment("phase_loop")
+    experiment.run(PHASE_PARAMS)  # warm lazy imports
+    result = benchmark.pedantic(
+        experiment.run, args=(PHASE_PARAMS,), rounds=3, iterations=1)
+    assert result["mean_iteration_ns"] > 0
+
+
+def test_enabled_mode_is_bounded_and_byte_identical():
+    from repro.observe import context as observe_context
+
+    experiment = get_experiment("phase_loop")
+    experiment.run(PHASE_PARAMS)  # warm lazy imports
+
+    def timed(observe):
+        best = float("inf")
+        result = None
+        for __ in range(3):
+            if observe is not None:
+                observe_context.activate(observe)
+            try:
+                start = time.perf_counter()
+                result = experiment.run(PHASE_PARAMS)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                if observe is not None:
+                    observe_context.deactivate()
+        return result, best
+
+    plain_result, plain_s = timed(None)
+    observed_result, observed_s = timed(
+        ObserveConfig(metrics=True, trace=True, period_ns=50.0))
+
+    canonical = lambda r: json.dumps(r, sort_keys=True, default=list)  # noqa: E731
+    assert canonical(observed_result) == canonical(plain_result)
+    # Full instrumentation may slow the host, but never catastrophically
+    # (generous bound: CI machines are noisy; the contract is "order
+    # unity", not "free").
+    assert observed_s < plain_s * 3.0 + 0.05
+
+    print(f"\nphase-loop wall clock: plain {plain_s * 1e3:.1f} ms, "
+          f"observed {observed_s * 1e3:.1f} ms "
+          f"({observed_s / plain_s:.2f}x)")

@@ -1,0 +1,84 @@
+"""ASCII timelines over observability metrics artifacts.
+
+``repro-runner report --timeline METRIC`` renders one sliced metric of
+a ``<digest>.metrics.json`` artifact (:mod:`repro.observe.artifacts`)
+as an ASCII chart: slice midpoints on the x axis, per-slice values on
+the y axis, one series per machine the run built.  Slice gauges plot
+their time-weighted means; slice counters plot per-slice event counts.
+
+Built on the same renderer as ``report --plot``
+(:func:`repro.analysis.plot.ascii_chart`), so output is deterministic
+and test-assertable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .plot import ascii_chart
+
+__all__ = ["available_metrics", "render_timeline", "timeline_points"]
+
+
+def _machine_payloads(artifact: Mapping) -> List[Mapping]:
+    machines = artifact.get("machines")
+    if not isinstance(machines, list) or not machines:
+        raise ValueError("not a metrics artifact: no machines list")
+    return machines
+
+
+def available_metrics(artifact: Mapping) -> List[Tuple[str, str]]:
+    """All plottable ``(kind, name)`` pairs across the run's machines.
+
+    ``kind`` is ``gauge`` or ``counter``; sorted for stable help text.
+    """
+    names = set()
+    for machine in _machine_payloads(artifact):
+        for name in machine.get("gauges", {}):
+            names.add(("gauge", name))
+        for name in machine.get("counters", {}):
+            names.add(("counter", name))
+    return sorted(names)
+
+
+def timeline_points(artifact: Mapping,
+                    metric: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-machine ``(slice_midpoint_ns, value)`` series for one metric.
+
+    ``metric`` names a slice gauge or slice counter; machines that never
+    recorded it are skipped.  Raises ``ValueError`` (listing what *is*
+    available) when no machine carries the metric.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for index, machine in enumerate(_machine_payloads(artifact)):
+        values = machine.get("gauges", {}).get(metric)
+        if values is None:
+            values = machine.get("counters", {}).get(metric)
+        if values is None:
+            continue
+        period = float(machine["period_ns"])
+        series[f"m{index}"] = [
+            ((slice_index + 0.5) * period, float(value))
+            for slice_index, value in enumerate(values)
+        ]
+    if not series:
+        names = ", ".join(name for __, name in available_metrics(artifact))
+        raise ValueError(
+            f"metric {metric!r} not in this artifact; available: {names}")
+    return series
+
+
+def render_timeline(artifact: Mapping, metric: str,
+                    width: int = 64, height: int = 16) -> str:
+    """The ASCII timeline chart for one metric of one artifact."""
+    series = timeline_points(artifact, metric)
+    digest = str(artifact.get("digest", ""))[:12]
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label="t_ns",
+        y_label=metric,
+        title=f"{metric} @ {digest}" if digest else metric,
+        force_legend=len(series) > 1,
+    )

@@ -118,6 +118,32 @@ class Histogram:
     def bin_edges(self) -> List[float]:
         return [self.lo + i * self.bin_width for i in range(self.bins + 1)]
 
+    def percentile(self, q: float) -> float:
+        """Deterministic percentile from the binned counts.
+
+        ``q`` is in ``[0, 100]`` (the :mod:`repro.analysis.aggregate`
+        convention).  The target rank ``q/100 * total`` is located by a
+        cumulative walk over the bins with linear interpolation inside
+        the containing bin; mass in the underflow/overflow regions
+        resolves to ``lo``/``hi`` (the histogram cannot know more).
+        Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile requires q in [0, 100]")
+        total = self.total
+        if total == 0:
+            return math.nan
+        target = q / 100.0 * total
+        cumulative = float(self.underflow)
+        if target <= cumulative and self.underflow:
+            return self.lo
+        for index, count in enumerate(self.counts):
+            if count and target <= cumulative + count:
+                fraction = (target - cumulative) / count
+                return self.lo + (index + fraction) * self.bin_width
+            cumulative += count
+        return self.hi
+
 
 @dataclass
 class Sample:
@@ -164,6 +190,7 @@ class StatsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._summaries: Dict[str, Summary] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
 
     def counter(self, name: str) -> Counter:
@@ -176,6 +203,24 @@ class StatsRegistry:
             self._summaries[name] = Summary(name)
         return self._summaries[name]
 
+    def histogram(self, name: str, lo: float = 0.0, hi: float = 1.0,
+                  bins: int = 10) -> Histogram:
+        """The named histogram, created on first use with these bounds.
+
+        Later calls return the existing histogram and must agree on the
+        binning — two call sites silently observing into differently
+        shaped bins would corrupt every percentile.
+        """
+        existing = self._histograms.get(name)
+        if existing is None:
+            existing = self._histograms[name] = Histogram(lo, hi, bins, name)
+        elif (existing.lo, existing.hi, existing.bins) != (lo, hi, bins):
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"({existing.lo}, {existing.hi}, {existing.bins}), "
+                f"requested ({lo}, {hi}, {bins})")
+        return existing
+
     def series(self, name: str) -> TimeSeries:
         if name not in self._series:
             self._series[name] = TimeSeries(name)
@@ -184,8 +229,50 @@ class StatsRegistry:
     def counter_values(self) -> Dict[str, int]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A deep, JSON-able copy of every registered statistic.
+
+        Deterministic by construction (keys sorted, values copied), so
+        two registries fed the same observations snapshot identically;
+        empty summaries export ``None`` for mean/min/max to keep the
+        payload strict-JSON (no NaN).
+        """
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self._counters.items())},
+            "summaries": {
+                name: {
+                    "count": summary.count,
+                    "mean": summary.mean if summary.count else None,
+                    "min": summary.min,
+                    "max": summary.max,
+                    "stddev": summary.stddev if summary.count else None,
+                }
+                for name, summary in sorted(self._summaries.items())
+            },
+            "histograms": {
+                name: {
+                    "lo": hist.lo,
+                    "hi": hist.hi,
+                    "bins": hist.bins,
+                    "counts": list(hist.counts),
+                    "underflow": hist.underflow,
+                    "overflow": hist.overflow,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+            "series": {
+                name: {
+                    "times": [sample.time for sample in series.samples],
+                    "values": [sample.value for sample in series.samples],
+                }
+                for name, series in sorted(self._series.items())
+            },
+        }
+
     def reset(self) -> None:
         for counter in self._counters.values():
             counter.reset()
         self._summaries.clear()
+        self._histograms.clear()
         self._series.clear()

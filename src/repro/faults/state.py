@@ -28,6 +28,9 @@ class FaultState:
         self.dead_nodes: Set[Coord] = set()
         self.dead_vcs: Dict[ChannelKey, Set[int]] = {}
         self.epoch = 0
+        # Observability (repro.observe): called with the new epoch after
+        # every bump; None on unobserved machines.
+        self.epoch_hook = None
 
     @property
     def active(self) -> bool:
@@ -35,25 +38,30 @@ class FaultState:
 
     # -- mutation (injector only) ----------------------------------------
 
+    def _bump_epoch(self) -> None:
+        self.epoch += 1
+        if self.epoch_hook is not None:
+            self.epoch_hook(self.epoch)
+
     def kill_channel(self, node: Coord, direction: Direction,
                      slice_index: int) -> None:
         self.dead_channels.add((node, direction, slice_index))
-        self.epoch += 1
+        self._bump_epoch()
 
     def revive_channel(self, node: Coord, direction: Direction,
                        slice_index: int) -> None:
         self.dead_channels.discard((node, direction, slice_index))
-        self.epoch += 1
+        self._bump_epoch()
 
     def kill_node(self, node: Coord) -> None:
         self.dead_nodes.add(node)
-        self.epoch += 1
+        self._bump_epoch()
 
     def kill_vc(self, node: Coord, direction: Direction, slice_index: int,
                 vc: int) -> None:
         self.dead_vcs.setdefault((node, direction, slice_index),
                                  set()).add(vc)
-        self.epoch += 1
+        self._bump_epoch()
 
     # -- queries ----------------------------------------------------------
 

@@ -141,6 +141,9 @@ class FenceEngine:
         fence_id = self._next_fence_id
         self._next_fence_id += 1
         self._active_fences.add(fence_id)
+        observer = getattr(self.machine, "observer", None)
+        if observer is not None:
+            observer.on_fence_start(fence_id, self.machine.sim.now)
         if on_node_complete is not None:
             self._on_complete[fence_id] = on_node_complete
         sim = self.machine.sim
@@ -341,6 +344,9 @@ class FenceEngine:
         def finish() -> None:
             state.complete_ns = sim.now
             self._active_fences.discard(fence_id)
+            observer = getattr(self.machine, "observer", None)
+            if observer is not None:
+                observer.on_fence_node_complete(fence_id, coord, sim.now)
             callback = self._on_complete.get(fence_id)
             if callback is not None:
                 callback(coord, sim.now)

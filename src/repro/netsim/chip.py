@@ -85,6 +85,11 @@ class ChipNetwork(CoreNetworkHost):
         # Installed by the machine only when faults are scheduled; while
         # None (the healthy case) routing takes the exact original paths.
         self.fault_adviser = None
+        # Installed by the machine only when the run is observed
+        # (repro.observe); while None the injection/delivery hot paths
+        # pay a single attribute check and nothing else.
+        self.observer = None
+        self._route_events = None
 
         # Row Adapters: one per (side, row), joining core column 0 or
         # cols-1 to the inner edge column.
@@ -155,6 +160,8 @@ class ChipNetwork(CoreNetworkHost):
         packet.injected_ns = self._sim.now
         self.injected_counts[packet.traffic_class] += 1
         delay = self.params.cycles(self.params.gc_send_overhead_cycles)
+        if self.observer is not None:
+            self.observer.on_inject(self, packet, delay)
         self._sim.after(delay, lambda: self.core.inject(packet,
                                                         packet.src_core))
 
@@ -183,6 +190,8 @@ class ChipNetwork(CoreNetworkHost):
                 endpoint.sram.counted_write(packet.quad_addr, words[:4])
             if self.delivery_hook is not None:
                 self.delivery_hook(packet)
+            if self.observer is not None:
+                self.observer.on_deliver(self, packet, delay)
 
         self._sim.after(delay, commit)
 
@@ -252,7 +261,8 @@ class ChipNetwork(CoreNetworkHost):
         if plan is not None and getattr(plan, "adaptive", False):
             return next_request_direction(packet, self.coord, self.torus,
                                           probe=self._adaptive_probe(packet),
-                                          rng=self._rng, faults=adviser)
+                                          rng=self._rng, faults=adviser,
+                                          events=self._route_events)
         if adviser is not None:
             return next_request_direction(packet, self.coord, self.torus,
                                           rng=self._rng, faults=adviser)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..faults.schedule import FaultSchedule
+from ..observe.config import ObserveConfig
 from ..routing import DEFAULT_POLICY
 from .params import DEFAULT_PARAMS, LatencyParams
 
@@ -41,6 +42,12 @@ class MachineConfig:
     routing: object = DEFAULT_POLICY  # policy name (or a built policy)
     record_delivered: bool = True
     faults: Optional[FaultSchedule] = field(default=None)
+    # Observability (repro.observe).  ``None`` means "defer to the
+    # ambient context": a machine built inside an observed runner task
+    # picks up the process-local ObserveConfig, while direct harness
+    # use stays unobserved.  Deliberately NOT part of any experiment's
+    # parameter dict, so cache digests never depend on observation.
+    observe: Optional[ObserveConfig] = field(default=None)
 
     def __post_init__(self) -> None:
         if len(tuple(self.dims)) != 3:

@@ -71,6 +71,10 @@ class Link:
         self.flits_sent = 0
         self.packets_sent_by_vc = [0] * vcs
         self.busy_ns = 0.0
+        # Observability (repro.observe): a LinkMonitor when the owning
+        # machine is observed, else None — the unobserved hot path pays
+        # only these None checks.
+        self.monitor = None
 
     def send(self, packet: Packet, vc: int,
              on_accept: Optional[Callable[[], None]] = None) -> None:
@@ -78,6 +82,8 @@ class Link:
         if not 0 <= vc < self.vcs:
             raise FabricError(f"{self.name}: VC {vc} out of range")
         self._queues[vc].append(_QueuedSend(packet, vc, on_accept))
+        if self.monitor is not None:
+            self.monitor.on_enqueue(self._sim.now, packet, vc)
         self._dispatch()
 
     def return_credits(self, vc: int, flits: int) -> None:
@@ -96,6 +102,17 @@ class Link:
                 return vc
         return None
 
+    def _eligible_count(self) -> int:
+        """How many VCs could dispatch right now (monitor bookkeeping)."""
+        count = 0
+        for vc in range(self.vcs):
+            if vc in self._dead_vcs:
+                continue
+            queue = self._queues[vc]
+            if queue and self._credits[vc] >= queue[0].packet.num_flits:
+                count += 1
+        return count
+
     def _dispatch(self) -> None:
         if self.failed:
             # A dead channel holds its queued sends indefinitely (no
@@ -103,15 +120,21 @@ class Link:
             # later restore() re-dispatches whatever is stranded.
             return
         now = self._sim.now
+        monitor = self.monitor
         while True:
             vc = self._eligible_vc()
             if vc is None:
-                return  # every queued VC is blocked on credits (or empty)
+                # Every queued VC is blocked on credits (or empty).
+                if monitor is not None and self.queued:
+                    monitor.on_stall(now)
+                return
             if self._busy_until > now:
                 # Channel busy: retry when it frees.
                 self._sim.at(self._busy_until, self._dispatch)
                 return
             self._next_vc = (vc + 1) % self.vcs
+            conflicts = (self._eligible_count() - 1
+                         if monitor is not None else 0)
             head = self._queues[vc].popleft()
             self._credits[vc] -= head.packet.num_flits
             ser = head.packet.num_flits * self.ser_ns_per_flit
@@ -125,6 +148,9 @@ class Link:
                 head.on_accept()
             arrival = self._busy_until + self.latency_ns
             packet = head.packet
+            if monitor is not None:
+                monitor.on_transmit(start, packet, vc, self._busy_until,
+                                    arrival, conflicts)
             self._sim.at(arrival, lambda p=packet, v=vc: self._deliver(
                 p, v, self))
 

@@ -87,10 +87,29 @@ class NetworkMachine:
                 cols=self.chip_cols, rows=self.chip_rows,
                 rng=random.Random(derive_seed(config.seed, coord)))
         self._wire_channels()
+        # Observability (repro.observe): explicit config wins; otherwise
+        # the ambient context set by an observed runner task applies.
+        # Unobserved machines keep ``observer`` None everywhere, so the
+        # hot paths pay only the existing None checks.
+        self.observer = None
+        observe = config.observe
+        if observe is None:
+            from ..observe.context import active_observe_config
+            observe = active_observe_config()
+        if observe is not None and observe.enabled:
+            from ..observe.observer import Observer
+            from ..observe.context import register_observer
+            self.observer = Observer(self, observe)
+            self.observer.install()
+            register_observer(self.observer)
         # Fault machinery: the state object always exists (cheap, empty);
         # the adviser and injector are wired only for scheduled faults,
         # so fault-free machines run the exact pre-fault code paths.
         self.fault_state = FaultState()
+        if self.observer is not None and self.observer.hub is not None:
+            # Installed before the injector applies, so epochs bumped by
+            # t <= 0 fault events are counted too.
+            self.fault_state.epoch_hook = self.observer.on_fault_epoch
         self.fault_adviser: Optional[FaultAdviser] = None
         self.fault_injector: Optional[FaultInjector] = None
         if config.faults is not None and len(config.faults):

@@ -107,6 +107,11 @@ class Packet:
     torus_hops_taken: int = 0
     hop_log: List[str] = field(default_factory=list)
     edge_target: Optional[object] = None  # set by the chip's planners
+    # Stable trace identity (repro.observe): (node_id, per-chip sequence)
+    # assigned at injection only when the machine is observed.  ``pid``
+    # cannot serve — it comes from a process-global counter, so its
+    # values depend on how a sweep is split across worker processes.
+    trace_id: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.num_flits not in (1, 2):

@@ -1,0 +1,45 @@
+"""``repro.observe`` — deterministic observability for the simulators.
+
+Three layers over one switchboard (:class:`ObserveConfig`):
+
+* **Metrics** (:mod:`repro.observe.metrics`) — sim-slice-keyed gauges
+  and counters plus the full :class:`~repro.engine.stats.StatsRegistry`
+  namespace, recorded at existing event boundaries (zero new events).
+* **Tracing** (:mod:`repro.observe.trace`) — packet-lifecycle spans for
+  a ``derive_seed``-sampled packet population, exportable as
+  Chrome-trace/Perfetto JSON.
+* **Profiling** (:mod:`repro.observe.profile`) — host wall-clock phase
+  timers and cProfile-based per-subsystem time shares.
+
+The contract: with observation off (the default) every machine takes
+the exact pre-observability code paths, and with it on the simulated
+trajectory is unchanged — only artifacts appear, byte-identical for any
+``--jobs`` split.
+"""
+
+from .config import ObserveConfig
+from .context import (
+    activate,
+    active_observe_config,
+    collect,
+    deactivate,
+    observing,
+    register_observer,
+)
+from .metrics import MetricsHub, SliceCounter, SliceGauge
+from .trace import PacketTracer, chrome_trace_events
+
+__all__ = [
+    "MetricsHub",
+    "ObserveConfig",
+    "PacketTracer",
+    "SliceCounter",
+    "SliceGauge",
+    "activate",
+    "active_observe_config",
+    "chrome_trace_events",
+    "collect",
+    "deactivate",
+    "observing",
+    "register_observer",
+]

@@ -1,0 +1,61 @@
+"""Observation configuration: what to record and how finely.
+
+:class:`ObserveConfig` is the single switchboard for the observability
+subsystem.  It is frozen (safe to embed in the frozen
+:class:`~repro.netsim.config.MachineConfig`, to pickle into worker
+processes, and to compare in tests) and **off by default**: a machine
+built without one — or with ``enabled`` False — takes the exact
+pre-observability code paths, so results and cache digests are
+byte-identical to an uninstrumented build.
+
+Everything here is deterministic by construction: the metrics layer
+samples by *simulated* time slice (``period_ns``), never by wall clock,
+and the tracing layer selects packets with a
+:func:`~repro.engine.seeding.derive_seed` hash of the packet's stable
+identity, so two runs of the same config produce byte-identical
+artifacts regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObserveConfig"]
+
+
+@dataclass(frozen=True)
+class ObserveConfig:
+    """What the observer records on one machine.
+
+    Attributes:
+        metrics: Record the :class:`~repro.observe.metrics.MetricsHub`
+            time-series (per-link/per-VC occupancy, credit stalls,
+            arbitration conflicts, injection/ejection depths, routing
+            and fence and fault events).
+        trace: Record packet-lifecycle spans for the sampled packets.
+        period_ns: Width of one metrics slice in simulated nanoseconds;
+            every slice-keyed gauge and counter aggregates over this
+            cadence.
+        trace_sample: Fraction of packets traced, selected by a
+            ``derive_seed`` hash of the packet's ``(node, sequence)``
+            identity — 1.0 traces everything, 0.0 nothing.
+        trace_seed: Salt for the trace-sampling hash, so disjoint trace
+            populations can be drawn from one workload.
+    """
+
+    metrics: bool = True
+    trace: bool = False
+    period_ns: float = 100.0
+    trace_sample: float = 1.0
+    trace_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0:
+            raise ValueError("period_ns must be > 0")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config asks for any observation at all."""
+        return self.metrics or self.trace

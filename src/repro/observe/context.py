@@ -1,0 +1,91 @@
+"""The ambient observation context for runner-driven observability.
+
+The runner's cache digests hash ``{experiment, version, params}``, so
+observability must never ride in an experiment's parameter dict — that
+would re-key every cached result.  Instead the runner activates an
+ambient :class:`~repro.observe.config.ObserveConfig` around one run
+(:func:`activate` / :func:`deactivate`, or the :func:`observing`
+context manager); every :class:`~repro.netsim.machine.NetworkMachine`
+built while the context is active consults it, creates an
+:class:`~repro.observe.observer.Observer`, and registers that observer
+here.  After the run, :func:`collect` gathers every observer's
+artifacts in machine-creation order (deterministic: run surfaces build
+machines in a fixed sequence for a given config).
+
+The context is process-local by design: worker processes receive the
+config inside their task tuple and activate it themselves, so ``--jobs
+1`` and ``--jobs N`` observe identically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .config import ObserveConfig
+
+__all__ = [
+    "activate",
+    "active_observe_config",
+    "collect",
+    "deactivate",
+    "observing",
+    "register_observer",
+]
+
+_active_config: Optional[ObserveConfig] = None
+_observers: List[object] = []
+
+
+def activate(config: ObserveConfig) -> None:
+    """Arm the ambient context; raises if one is already active."""
+    global _active_config
+    if _active_config is not None:
+        raise RuntimeError("an observation context is already active")
+    _active_config = config
+    _observers.clear()
+
+
+def deactivate() -> None:
+    """Disarm the ambient context and drop registered observers."""
+    global _active_config
+    _active_config = None
+    _observers.clear()
+
+
+def active_observe_config() -> Optional[ObserveConfig]:
+    """The ambient config, or ``None`` when observation is off."""
+    return _active_config
+
+
+def register_observer(observer: object) -> None:
+    """Called by machines that created an observer from this context."""
+    if _active_config is not None:
+        _observers.append(observer)
+
+
+def collect() -> Optional[Dict[str, list]]:
+    """Per-layer artifacts of every observer, in creation order.
+
+    Returns ``{"metrics": [...], "trace": [...]}`` with one entry per
+    observed machine (layers the config disabled are omitted), or
+    ``None`` when no machine was observed — the caller then writes no
+    artifact files at all.
+    """
+    if not _observers:
+        return None
+    artifacts: Dict[str, list] = {}
+    for observer in _observers:
+        for layer, payload in observer.artifacts().items():
+            artifacts.setdefault(layer, []).append(payload)
+    return artifacts or None
+
+
+@contextmanager
+def observing(config: ObserveConfig) -> Iterator[None]:
+    """Activate ``config`` for the duration of a ``with`` block."""
+    activate(config)
+    try:
+        yield
+    finally:
+        deactivate()

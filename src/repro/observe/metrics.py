@@ -1,0 +1,155 @@
+"""The metrics layer: deterministically sampled, sim-slice-keyed series.
+
+:class:`MetricsHub` extends :class:`~repro.engine.stats.StatsRegistry`
+(counters, summaries, histograms, raw time series all still work) with
+two slice-keyed primitives:
+
+* :class:`SliceGauge` — a time-weighted gauge.  Instrumentation points
+  push value *changes* (``update(now, value)``); the gauge integrates
+  value x time and reports the mean per fixed ``period_ns`` slice.
+  Because it accumulates at existing event boundaries, it needs **no
+  simulator events of its own** — observation can never perturb event
+  order, which is what keeps observed and unobserved runs byte-identical.
+* :class:`SliceCounter` — event counts bucketed by the slice the event
+  fell in (escape fallbacks, misroutes, credit stalls, fault epochs).
+
+Both are exact integrals/counts of the simulated trajectory, so their
+JSON exports are byte-identical for any ``--jobs`` split.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..engine.stats import StatsRegistry
+
+__all__ = ["MetricsHub", "SliceCounter", "SliceGauge", "slice_count"]
+
+
+def slice_count(end_ns: float, period_ns: float) -> int:
+    """Slices covering ``[0, end_ns]`` (at least one)."""
+    if end_ns <= 0:
+        return 1
+    return int(math.floor(end_ns / period_ns)) + 1
+
+
+class SliceGauge:
+    """Time-weighted mean of a piecewise-constant value, per slice."""
+
+    __slots__ = ("period_ns", "value", "_last_ns", "_sums")
+
+    def __init__(self, period_ns: float) -> None:
+        self.period_ns = period_ns
+        self.value = 0.0
+        self._last_ns = 0.0
+        self._sums: Dict[int, float] = {}
+
+    def update(self, now: float, value: float) -> None:
+        """The gauge changed to ``value`` at simulated time ``now``."""
+        self._accumulate(now)
+        self.value = value
+
+    def _accumulate(self, now: float) -> None:
+        last, value, period = self._last_ns, self.value, self.period_ns
+        if now > last and value:
+            first = int(last // period)
+            final = int(now // period)
+            sums = self._sums
+            if first == final:
+                sums[first] = sums.get(first, 0.0) + (now - last) * value
+            else:
+                edge = (first + 1) * period
+                sums[first] = sums.get(first, 0.0) + (edge - last) * value
+                for index in range(first + 1, final):
+                    sums[index] = sums.get(index, 0.0) + period * value
+                tail = now - final * period
+                if tail:
+                    sums[final] = sums.get(final, 0.0) + tail * value
+        if now > last:
+            self._last_ns = now
+
+    def close(self, now: float) -> None:
+        """Account the held value up to the end of the run."""
+        self._accumulate(now)
+
+    def means(self, end_ns: float) -> List[float]:
+        """Per-slice time-weighted means over ``[0, end_ns]``."""
+        period = self.period_ns
+        count = slice_count(end_ns, period)
+        out = []
+        for index in range(count):
+            width = min(period, end_ns - index * period) if end_ns else period
+            if width <= 0:
+                width = period
+            out.append(self._sums.get(index, 0.0) / width)
+        return out
+
+
+class SliceCounter:
+    """Event counts bucketed by the sim slice the event fell in."""
+
+    __slots__ = ("period_ns", "_counts", "total")
+
+    def __init__(self, period_ns: float) -> None:
+        self.period_ns = period_ns
+        self.total = 0
+        self._counts: Dict[int, int] = {}
+
+    def add(self, now: float, amount: int = 1) -> None:
+        index = int(now // self.period_ns)
+        self._counts[index] = self._counts.get(index, 0) + amount
+        self.total += amount
+
+    def counts(self, end_ns: float) -> List[int]:
+        """Per-slice counts over ``[0, end_ns]``."""
+        return [
+            self._counts.get(index, 0)
+            for index in range(slice_count(end_ns, self.period_ns))
+        ]
+
+
+class MetricsHub(StatsRegistry):
+    """A :class:`StatsRegistry` plus slice-keyed gauges and counters.
+
+    One hub belongs to one machine's observer; the sampling cadence is
+    fixed at construction from ``MachineConfig.observe.period_ns``.
+    """
+
+    def __init__(self, period_ns: float) -> None:
+        super().__init__()
+        if period_ns <= 0:
+            raise ValueError("period_ns must be > 0")
+        self.period_ns = period_ns
+        self._slice_gauges: Dict[str, SliceGauge] = {}
+        self._slice_counters: Dict[str, SliceCounter] = {}
+
+    def slice_gauge(self, name: str) -> SliceGauge:
+        if name not in self._slice_gauges:
+            self._slice_gauges[name] = SliceGauge(self.period_ns)
+        return self._slice_gauges[name]
+
+    def slice_counter(self, name: str) -> SliceCounter:
+        if name not in self._slice_counters:
+            self._slice_counters[name] = SliceCounter(self.period_ns)
+        return self._slice_counters[name]
+
+    def close(self, end_ns: float) -> None:
+        """Flush every gauge's held value through the end of the run."""
+        for gauge in self._slice_gauges.values():
+            gauge.close(end_ns)
+
+    def slices_jsonable(self, end_ns: float) -> Dict[str, object]:
+        """The slice-keyed layer as a JSON-able mapping."""
+        return {
+            "period_ns": self.period_ns,
+            "slices": slice_count(end_ns, self.period_ns),
+            "gauges": {
+                name: gauge.means(end_ns)
+                for name, gauge in sorted(self._slice_gauges.items())
+            },
+            "counters": {
+                name: counter.counts(end_ns)
+                for name, counter in sorted(self._slice_counters.items())
+            },
+        }

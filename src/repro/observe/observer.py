@@ -1,0 +1,254 @@
+"""The Observer: one machine's instrumentation hub.
+
+A :class:`~repro.netsim.machine.NetworkMachine` whose effective
+:class:`~repro.observe.config.ObserveConfig` is enabled creates one
+:class:`Observer` and calls :meth:`Observer.install`, which
+
+* points every chip's ``observer`` attribute here (injection/delivery
+  and routing-event hooks),
+* assigns each chip its stable linear node id and a per-chip injection
+  sequence counter (the cross-process-stable packet identity traces
+  sample on), and
+* attaches a :class:`LinkMonitor` to every inter-node channel link
+  (per-VC occupancy, credit stalls, arbitration conflicts, packet
+  queue/transmit spans).
+
+Everything records at *existing* simulator event boundaries: the
+observer schedules no events and draws no randomness, so an observed
+run's simulated trajectory — and therefore its result dict — is
+byte-identical to the unobserved run.  Disabled machines never build an
+observer at all; their hot paths pay only ``is not None`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .config import ObserveConfig
+from .metrics import MetricsHub
+from .trace import PacketTracer
+
+__all__ = ["LinkMonitor", "Observer"]
+
+#: Histogram bounds for end-to-end packet latency (ns).  Fixed so the
+#: binning — and the snapshot it exports — is config-independent.
+LATENCY_HIST_NS = (0.0, 16384.0, 256)
+
+
+class LinkMonitor:
+    """Per-link instrumentation attached to one channel :class:`Link`."""
+
+    __slots__ = (
+        "link",
+        "tracer",
+        "occupancy",
+        "busy",
+        "stall_counter",
+        "stall_slices",
+        "conflict_counter",
+        "conflict_slices",
+        "_pending_queue",
+    )
+
+    def __init__(self, link, hub: Optional[MetricsHub],
+                 tracer: Optional[PacketTracer]) -> None:
+        self.link = link
+        self.tracer = tracer
+        if hub is not None:
+            # Eager creation: the occupancy series must cover every link
+            # and VC, including ones no packet ever touches.
+            self.occupancy = [
+                hub.slice_gauge(f"link/{link.name}/vc{vc}/occupancy")
+                for vc in range(link.vcs)
+            ]
+            self.busy = hub.slice_gauge(f"link/{link.name}/busy")
+            self.stall_counter = hub.counter(f"link/{link.name}/stalls")
+            self.stall_slices = hub.slice_counter("link/credit_stalls")
+            self.conflict_counter = hub.counter(
+                f"link/{link.name}/arbitration_conflicts")
+            self.conflict_slices = hub.slice_counter(
+                "link/arbitration_conflicts")
+        else:
+            self.occupancy = None
+            self.busy = None
+            self.stall_counter = None
+            self.stall_slices = None
+            self.conflict_counter = None
+            self.conflict_slices = None
+        self._pending_queue: Dict[Tuple[int, int], float] = {}
+
+    def on_enqueue(self, now: float, packet, vc: int) -> None:
+        """A packet joined this link's ``vc`` send queue."""
+        if self.occupancy is not None:
+            self.occupancy[vc].update(now, self.link.queued_flits_on(vc))
+        if self.tracer is not None and packet.trace_id is not None:
+            self._pending_queue[packet.trace_id] = now
+
+    def on_stall(self, now: float) -> None:
+        """Dispatch found queued packets but no VC with credits."""
+        if self.stall_counter is not None:
+            self.stall_counter.add()
+            self.stall_slices.add(now)
+
+    def on_transmit(self, start: float, packet, vc: int, busy_until: float,
+                    arrival: float, conflicts: int) -> None:
+        """A packet won arbitration and started serializing."""
+        if self.occupancy is not None:
+            self.occupancy[vc].update(start, self.link.queued_flits_on(vc))
+            self.busy.update(start, 1.0)
+            self.busy.update(busy_until, 0.0)
+            if conflicts > 0:
+                self.conflict_counter.add(conflicts)
+                self.conflict_slices.add(start, conflicts)
+        if self.tracer is not None and packet.trace_id is not None:
+            enqueued = self._pending_queue.pop(packet.trace_id, None)
+            if enqueued is not None:
+                self.tracer.span(packet.trace_id, "queue", enqueued, start,
+                                 link=self.link.name, vc=vc)
+            self.tracer.span(packet.trace_id, "transmit", start, arrival,
+                             link=self.link.name, vc=vc)
+
+
+class Observer:
+    """Collects one machine's metrics and trace through run hooks."""
+
+    def __init__(self, machine, config: ObserveConfig) -> None:
+        self.machine = machine
+        self.config = config
+        self._sim = machine.sim
+        self.hub: Optional[MetricsHub] = (
+            MetricsHub(config.period_ns) if config.metrics else None)
+        self.tracer: Optional[PacketTracer] = (
+            PacketTracer(config.trace_sample, config.trace_seed)
+            if config.trace else None)
+        self.monitors: List[LinkMonitor] = []
+        self._in_flight = 0
+        self._fence_starts: Dict[int, float] = {}
+        if self.hub is not None:
+            self._inflight_gauge = self.hub.slice_gauge("machine/in_flight")
+            self._inject_slices = self.hub.slice_counter("machine/injections")
+            self._deliver_slices = self.hub.slice_counter(
+                "machine/deliveries")
+            self._latency_hist = self.hub.histogram(
+                "packet_latency_ns", *LATENCY_HIST_NS)
+        else:
+            self._inflight_gauge = None
+            self._inject_slices = None
+            self._deliver_slices = None
+            self._latency_hist = None
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach the observer to every chip and channel link."""
+        torus = self.machine.torus
+        for coord, chip in self.machine.chips.items():
+            chip.observer = self
+            chip._obs_node_id = torus.node_id(coord)
+            chip._obs_seq = 0
+            if self.hub is not None:
+                chip._route_events = self.on_route_event
+        for chip in self.machine.chips.values():
+            for ca in chip.channel_adapters.values():
+                link = ca.output_or_none("channel")
+                if link is not None and link.monitor is None:
+                    monitor = LinkMonitor(link, self.hub, self.tracer)
+                    link.monitor = monitor
+                    self.monitors.append(monitor)
+
+    # ------------------------------------------------------------------
+    # Chip hooks (injection / delivery).
+    # ------------------------------------------------------------------
+
+    def on_inject(self, chip, packet, overhead_ns: float) -> None:
+        """A GC issued ``packet`` on ``chip`` (pre-injection overhead)."""
+        now = self._sim.now
+        if self.tracer is not None:
+            seq = chip._obs_seq
+            chip._obs_seq = seq + 1
+            if self.tracer.selects(chip._obs_node_id, seq):
+                packet.trace_id = (chip._obs_node_id, seq)
+                self.tracer.span(packet.trace_id, "inject", now,
+                                 now + overhead_ns,
+                                 node=chip._obs_node_id,
+                                 kindof=packet.kind.value)
+        if self.hub is not None:
+            self._in_flight += 1
+            self._inflight_gauge.update(now, self._in_flight)
+            self._inject_slices.add(now)
+
+    def on_deliver(self, chip, packet, eject_ns: float) -> None:
+        """``packet`` committed to its destination GC's SRAM."""
+        now = self._sim.now
+        if self.hub is not None:
+            self._in_flight -= 1
+            self._inflight_gauge.update(now, self._in_flight)
+            self._deliver_slices.add(now)
+            if packet.injected_ns is not None:
+                self._latency_hist.observe(now - packet.injected_ns)
+        if self.tracer is not None and packet.trace_id is not None:
+            self.tracer.span(packet.trace_id, "eject", now - eject_ns, now,
+                             node=chip._obs_node_id)
+            self.tracer.instant(packet.trace_id, "deliver", now,
+                                hops=packet.torus_hops_taken,
+                                misroutes=packet.misroutes)
+
+    # ------------------------------------------------------------------
+    # Routing, fence, and fault hooks.
+    # ------------------------------------------------------------------
+
+    def on_route_event(self, kind: str) -> None:
+        """An adaptive-escape decision: ``adaptive``/``misroute``/``escape``."""
+        hub = self.hub
+        if hub is not None:
+            hub.slice_counter(f"route/{kind}").add(self._sim.now)
+            hub.counter(f"route/{kind}").add()
+
+    def on_fence_start(self, fence_id: int, now: float) -> None:
+        self._fence_starts[fence_id] = now
+
+    def on_fence_node_complete(self, fence_id: int, coord, now: float) -> None:
+        hub = self.hub
+        if hub is None:
+            return
+        start = self._fence_starts.get(fence_id)
+        if start is not None:
+            hub.summary("fence/node_wait_ns").observe(now - start)
+        hub.slice_counter("fence/node_completions").add(now)
+
+    def on_fault_epoch(self, epoch: int) -> None:
+        hub = self.hub
+        if hub is not None:
+            hub.counter("faults/epochs").add()
+            hub.slice_counter("faults/epoch_transitions").add(self._sim.now)
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+
+    def artifacts(self) -> Dict[str, dict]:
+        """The recorded layers as JSON-able payloads, keyed by layer.
+
+        Flushes every gauge through the machine's final simulated time,
+        so calling this ends the observation window (idempotently — the
+        accumulators simply stop at ``sim.now``).
+        """
+        end_ns = self._sim.now
+        payload: Dict[str, dict] = {}
+        if self.hub is not None:
+            self.hub.close(end_ns)
+            payload["metrics"] = {
+                "schema": "repro.observe.metrics/1",
+                "end_ns": end_ns,
+                **self.hub.slices_jsonable(end_ns),
+                "stats": self.hub.snapshot(),
+            }
+        if self.tracer is not None:
+            payload["trace"] = {
+                "schema": "repro.observe.trace/1",
+                "end_ns": end_ns,
+                **self.tracer.jsonable(),
+            }
+        return payload

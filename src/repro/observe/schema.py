@@ -1,0 +1,127 @@
+"""Structural validation of observability artifacts.
+
+Dependency-free schema checks (no jsonschema in the container) used by
+tests and the CI observe-smoke job: they assert the shape contracts the
+metrics/trace exporters promise — slice-array lengths match the declared
+slice count, spans carry well-formed closed intervals, Chrome trace
+events carry the fields Perfetto requires — and raise ``ValueError``
+with a path-qualified message on the first violation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "METRICS_SCHEMA_ID",
+    "TRACE_SCHEMA_ID",
+    "validate_chrome_trace",
+    "validate_metrics",
+    "validate_trace",
+]
+
+METRICS_SCHEMA_ID = "repro.observe.metrics/1"
+TRACE_SCHEMA_ID = "repro.observe.trace/1"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid artifact: {message}")
+
+
+def _number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_metrics(payload: Mapping) -> None:
+    """Validate one machine's metrics payload (raises ``ValueError``)."""
+    _require(isinstance(payload, Mapping), "metrics payload is not a mapping")
+    _require(payload.get("schema") == METRICS_SCHEMA_ID,
+             f"metrics schema is {payload.get('schema')!r}, "
+             f"expected {METRICS_SCHEMA_ID!r}")
+    _require(_number(payload.get("end_ns")) and payload["end_ns"] >= 0,
+             "metrics end_ns must be a non-negative number")
+    _require(_number(payload.get("period_ns")) and payload["period_ns"] > 0,
+             "metrics period_ns must be a positive number")
+    slices = payload.get("slices")
+    _require(isinstance(slices, int) and slices >= 1,
+             "metrics slices must be a positive integer")
+    gauges = payload.get("gauges")
+    _require(isinstance(gauges, Mapping), "metrics gauges must be a mapping")
+    for name, means in gauges.items():
+        _require(isinstance(means, list) and len(means) == slices,
+                 f"gauge {name!r} must have one mean per slice")
+        _require(all(_number(value) for value in means),
+                 f"gauge {name!r} has a non-numeric mean")
+    counters = payload.get("counters")
+    _require(isinstance(counters, Mapping),
+             "metrics counters must be a mapping")
+    for name, counts in counters.items():
+        _require(isinstance(counts, list) and len(counts) == slices,
+                 f"counter {name!r} must have one count per slice")
+        _require(all(isinstance(value, int) and value >= 0
+                     for value in counts),
+                 f"counter {name!r} has a non-count entry")
+    stats = payload.get("stats")
+    _require(isinstance(stats, Mapping), "metrics stats must be a mapping")
+    for section in ("counters", "summaries", "histograms", "series"):
+        _require(isinstance(stats.get(section), Mapping),
+                 f"metrics stats.{section} must be a mapping")
+
+
+def validate_trace(payload: Mapping) -> None:
+    """Validate one machine's trace payload (raises ``ValueError``)."""
+    _require(isinstance(payload, Mapping), "trace payload is not a mapping")
+    _require(payload.get("schema") == TRACE_SCHEMA_ID,
+             f"trace schema is {payload.get('schema')!r}, "
+             f"expected {TRACE_SCHEMA_ID!r}")
+    _require(_number(payload.get("end_ns")) and payload["end_ns"] >= 0,
+             "trace end_ns must be a non-negative number")
+    sample = payload.get("trace_sample")
+    _require(_number(sample) and 0.0 <= sample <= 1.0,
+             "trace_sample must be a number in [0, 1]")
+    _require(isinstance(payload.get("trace_seed"), int),
+             "trace_seed must be an integer")
+    spans = payload.get("spans")
+    _require(isinstance(spans, list), "trace spans must be a list")
+    for index, span in enumerate(spans):
+        where = f"span[{index}]"
+        _require(isinstance(span, Mapping), f"{where} is not a mapping")
+        trace_id = span.get("trace_id")
+        _require(isinstance(trace_id, list) and len(trace_id) == 2
+                 and all(isinstance(part, int) and part >= 0
+                         for part in trace_id),
+                 f"{where} trace_id must be [node_id, seq]")
+        _require(isinstance(span.get("kind"), str) and span["kind"],
+                 f"{where} kind must be a non-empty string")
+        start, end = span.get("start_ns"), span.get("end_ns")
+        _require(_number(start) and _number(end) and start <= end,
+                 f"{where} must satisfy start_ns <= end_ns")
+
+
+def validate_chrome_trace(payload: Mapping) -> None:
+    """Validate an exported Chrome/Perfetto trace (raises ``ValueError``)."""
+    _require(isinstance(payload, Mapping),
+             "chrome trace payload is not a mapping")
+    events = payload.get("traceEvents")
+    _require(isinstance(events, list),
+             "chrome trace must carry a traceEvents list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        _require(isinstance(event, Mapping), f"{where} is not a mapping")
+        _require(isinstance(event.get("name"), str) and event["name"],
+                 f"{where} needs a name")
+        phase = event.get("ph")
+        _require(phase in ("X", "i", "M", "B", "E"),
+                 f"{where} has unsupported phase {phase!r}")
+        _require(isinstance(event.get("pid"), int)
+                 and isinstance(event.get("tid"), int),
+                 f"{where} needs integer pid and tid")
+        if phase == "X":
+            _require(_number(event.get("ts"))
+                     and _number(event.get("dur"))
+                     and event["dur"] >= 0,
+                     f"{where} complete event needs ts and dur >= 0")
+        elif phase == "i":
+            _require(_number(event.get("ts")),
+                     f"{where} instant event needs ts")

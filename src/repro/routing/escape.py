@@ -124,7 +124,8 @@ def _win_adaptive_vc(candidates: List[Direction], coord: Coord,
 def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
                               probe: Optional[AdaptiveVcProbe] = None,
                               rng: Optional[random.Random] = None,
-                              faults=None) -> Optional[Direction]:
+                              faults=None,
+                              events=None) -> Optional[Direction]:
     """One per-hop routing decision for an adaptive-escape packet.
 
     Tries, in order: a productive adaptive hop, a misroute (budget and
@@ -142,6 +143,11 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
     hop — but the escape leg must stay live and progressing, so it
     follows the adviser's live-shortest-path table instead of the
     blind dimension order.
+
+    ``events`` is the observability hook (:mod:`repro.observe`): called
+    with ``"adaptive"``, ``"misroute"``, or ``"escape"`` as each hop's
+    layer decision lands.  It observes only — no event may influence
+    the decision — and stays ``None`` on unobserved machines.
     """
     plan: RoutePlan = packet.route
     phase = plan.current
@@ -149,7 +155,7 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
     dims = torus.dims.as_tuple()
     if faults is not None:
         return _faulted_adaptive_direction(packet, coord, torus, phase,
-                                           probe, rng, faults)
+                                           probe, rng, faults, events)
     productive = _productive_directions(offsets, dims)
     if not productive:
         return None
@@ -158,6 +164,8 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
                                   packet.num_flits, rng)
         if choice is not None:
             packet.on_escape = False
+            if events is not None:
+                events("adaptive")
             return choice
         # Every productive adaptive VC is full: misroute while budget
         # lasts, onto any non-productive direction whose adaptive VC has
@@ -175,9 +183,13 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
             if choice is not None:
                 packet.misroutes += 1
                 packet.on_escape = False
+                if events is not None:
+                    events("misroute")
                 return choice
     # Escape: the deterministic dimension-order hop on the dateline VCs.
     packet.on_escape = True
+    if events is not None:
+        events("escape")
     for axis in phase.dim_order:
         if offsets[axis]:
             return (axis, 1 if offsets[axis] > 0 else -1)
@@ -187,7 +199,7 @@ def adaptive_escape_direction(packet, coord: Coord, torus: Torus3D,
 def _faulted_adaptive_direction(packet, coord: Coord, torus: Torus3D,
                                 phase, probe: Optional[AdaptiveVcProbe],
                                 rng: Optional[random.Random],
-                                faults) -> Optional[Direction]:
+                                faults, events=None) -> Optional[Direction]:
     """The degraded-mode per-hop decision for an adaptive plan.
 
     "Productive" is redefined against the *live* graph: the adviser's
@@ -208,6 +220,8 @@ def _faulted_adaptive_direction(packet, coord: Coord, torus: Torus3D,
                                   packet.num_flits, rng)
         if choice is not None:
             packet.on_escape = False
+            if events is not None:
+                events("adaptive")
             return choice
         if (packet.route.max_misroutes is None
                 or packet.misroutes < packet.route.max_misroutes):
@@ -224,9 +238,14 @@ def _faulted_adaptive_direction(packet, coord: Coord, torus: Torus3D,
             if choice is not None:
                 packet.misroutes += 1
                 packet.on_escape = False
+                if events is not None:
+                    events("misroute")
                 return choice
     packet.on_escape = True
-    return faults.reroute_choice_for(productive, rng)
+    choice = faults.reroute_choice_for(productive, rng)
+    if events is not None and choice is not None:
+        events("escape")
+    return choice
 
 
 class AdaptiveEscapePolicy(RoutingPolicy):

@@ -188,8 +188,8 @@ class RoutingPolicy:
 
 
 def next_request_direction(packet, coord: Coord, torus: Torus3D,
-                           probe=None, rng=None,
-                           faults=None) -> Optional[Tuple[int, int]]:
+                           probe=None, rng=None, faults=None,
+                           events=None) -> Optional[Tuple[int, int]]:
     """The request packet's next torus direction from ``coord``.
 
     Resolves the current phase of ``packet.route`` (falling back to a
@@ -210,6 +210,11 @@ def next_request_direction(packet, coord: Coord, torus: Torus3D,
     nodes straddling a dead ring link ping-pong forever — while
     adaptive plans keep their per-hop chooser and use the table just
     for the escape leg (inside ``adaptive_escape_direction``).
+
+    ``events`` is the optional observability callback
+    (:mod:`repro.observe`): adaptive plans report each per-hop layer
+    decision through it (``"adaptive"``/``"misroute"``/``"escape"``);
+    it is ignored — and the hook never fires — for oblivious plans.
     """
     plan: Optional[RoutePlan] = getattr(packet, "route", None)
     if plan is None:
@@ -230,7 +235,7 @@ def next_request_direction(packet, coord: Coord, torus: Torus3D,
 
         return adaptive_escape_direction(packet, coord, torus,
                                          probe=probe, rng=rng,
-                                         faults=faults)
+                                         faults=faults, events=events)
     phase = plan.current
     if faults is not None:
         return faults.route_direction(packet, coord, phase.target, rng)

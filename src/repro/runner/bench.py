@@ -1,0 +1,187 @@
+"""``repro-runner bench`` — the pinned simulator benchmark grid.
+
+A small, fixed set of benchmark cases (one open-loop load point, one
+closed-loop window point, one phase loop) that every revision runs the
+same way, so host wall-clock numbers are comparable across commits.
+``run_bench`` executes each case in-process, repeats it, and reports
+
+* the best and mean wall-clock seconds per repeat (best-of-N is the
+  standard noise filter for microbenchmarks),
+* a throughput figure (simulated work items — packet deliveries or
+  completed transactions — per host second),
+* and the flattened numeric result surface of the final repeat, so a
+  perf regression that also changes *results* is immediately visible.
+
+``bench --json`` writes the payload as ``BENCH_<rev>.json`` (``rev``
+from git, ``unknown`` outside a checkout) — the snapshot artifact the
+CI overhead gate and cross-revision comparisons diff.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cache import canonicalize
+from .experiment import get_experiment
+
+__all__ = ["BENCH_CASES", "BenchCase", "bench_filename", "current_rev",
+           "flatten_numeric", "run_bench"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned benchmark configuration."""
+
+    name: str
+    experiment: str
+    params: Dict[str, object]
+    #: Dotted path into the result whose value counts "work items"
+    #: (packets delivered) for the throughput figure; None disables it.
+    work_key: Optional[str] = None
+
+
+#: The pinned grid.  Frozen on purpose: editing a case invalidates every
+#: historical BENCH_<rev>.json comparison, so new cases get new names.
+BENCH_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(
+        name="open-loop-uniform-0.4",
+        experiment="load_sweep",
+        params={
+            "dims": (2, 1, 1), "chip_cols": 6, "chip_rows": 6,
+            "pattern": "uniform", "offered_load": 0.4,
+            "machine_seed": 7, "traffic_seed": 11,
+            "warmup_ns": 200.0, "measure_ns": 600.0,
+        },
+        work_key="classes.request.delivered_packets",
+    ),
+    BenchCase(
+        name="closed-loop-window-4",
+        experiment="closed_loop",
+        params={
+            "dims": (2, 1, 1), "chip_cols": 6, "chip_rows": 6,
+            "pattern": "uniform", "routing": "randomized-minimal",
+            "window": 4, "machine_seed": 7, "workload_seed": 11,
+            "warmup_ns": 200.0, "measure_ns": 600.0,
+        },
+        work_key="completed_transactions",
+    ),
+    BenchCase(
+        name="phase-loop-uniform",
+        experiment="phase_loop",
+        params={
+            "dims": (2, 1, 1), "chip_cols": 6, "chip_rows": 6,
+            "pattern": "uniform", "routing": "randomized-minimal",
+            "messages_per_node": 4, "window": 2, "iterations": 1,
+            "machine_seed": 7, "workload_seed": 11,
+        },
+        work_key=None,
+    ),
+)
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def bench_filename(rev: Optional[str] = None) -> str:
+    return f"BENCH_{rev if rev is not None else current_rev()}.json"
+
+
+def flatten_numeric(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested result dict as sorted dotted keys."""
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(payload[key], child))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        flat[prefix] = float(payload)
+    return flat
+
+
+def _dig(payload: object, dotted: str) -> Optional[float]:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def run_bench(repeat: int = 3,
+              cases: Optional[Tuple[BenchCase, ...]] = None,
+              progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Run the benchmark grid; returns the BENCH payload."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    selected = BENCH_CASES if cases is None else cases
+    rows = []
+    for case in selected:
+        experiment = get_experiment(case.experiment)
+        params = canonicalize(case.params)
+        experiment.validate_params(params)
+        wall: List[float] = []
+        result: dict = {}
+        for index in range(repeat):
+            start = time.perf_counter()
+            result = experiment.run(params)
+            wall.append(time.perf_counter() - start)
+            if progress is not None:
+                progress(f"bench {case.name}: repeat {index + 1}/{repeat} "
+                         f"in {wall[-1]:.3f}s")
+        result = canonicalize(result)
+        best = min(wall)
+        work = _dig(result, case.work_key) if case.work_key else None
+        rows.append({
+            "name": case.name,
+            "experiment": case.experiment,
+            "params": params,
+            "repeat": repeat,
+            "wall_s": {
+                "best": best,
+                "mean": sum(wall) / len(wall),
+                "all": list(wall),
+            },
+            "throughput_per_s": (work / best if work and best > 0 else None),
+            "metrics": flatten_numeric(result),
+        })
+    return {
+        "schema": "repro.bench/1",
+        "rev": current_rev(),
+        "repeat": repeat,
+        "cases": rows,
+    }
+
+
+def bench_table(payload: dict) -> str:
+    """Human-readable table of one BENCH payload."""
+    from ..analysis.report import format_table
+
+    rows = []
+    for case in payload["cases"]:
+        throughput = case.get("throughput_per_s")
+        rows.append([
+            case["name"],
+            case["experiment"],
+            f"{case['wall_s']['best']:.3f}",
+            f"{case['wall_s']['mean']:.3f}",
+            f"{throughput:.0f}" if throughput else "-",
+        ])
+    table = format_table(
+        ("case", "experiment", "best_s", "mean_s", "work/s"), rows)
+    return f"bench @ {payload['rev']} (repeat={payload['repeat']})\n{table}"

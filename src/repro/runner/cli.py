@@ -8,7 +8,18 @@ Subcommands:
   worker processes, memoized through the on-disk result cache.
 * ``cache {stats,prune}`` — entry/byte counts per (experiment, version),
   and removal of entries no registered experiment can ever serve again.
-* ``report`` — format sweep output (or the cache) as a table or CSV.
+* ``report`` — format sweep output (or the cache) as a table or CSV;
+  ``--timeline`` renders sliced observability metrics as ASCII charts.
+* ``trace {export,list}`` — Chrome/Perfetto export of recorded packet
+  traces, and the artifact inventory.
+* ``profile EXPERIMENT`` — cProfile one configuration and attribute
+  wall-clock to repro subsystems.
+* ``bench`` — the pinned benchmark grid (``BENCH_<rev>.json``).
+
+``run``/``sweep`` accept ``--observe``/``--trace`` (repro.observe):
+observed runs execute every configuration (no cache reads), write
+metrics/trace artifacts beside the cache keyed by each run's config
+digest, and still produce byte-identical results and cache entries.
 
 Result payloads go to stdout (or ``--output``); progress and cache
 statistics go to stderr, so stdout is always machine-consumable and
@@ -49,6 +60,27 @@ def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if getattr(args, "no_cache", False):
         return None
     return ResultCache(Path(args.cache_dir))
+
+
+def _observe_config(args: argparse.Namespace):
+    """The ObserveConfig the flags ask for, or None when off."""
+    if not (getattr(args, "observe", False) or getattr(args, "trace", False)):
+        return None
+    from ..observe.config import ObserveConfig
+
+    return ObserveConfig(
+        metrics=True,
+        trace=bool(args.trace),
+        period_ns=args.observe_period,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
+    )
+
+
+def _artifact_dir(args: argparse.Namespace) -> Path:
+    from ..observe.artifacts import observe_dir
+
+    return observe_dir(Path(args.cache_dir))
 
 
 def _payload(results: Sequence[SweepResult]) -> dict:
@@ -145,6 +177,41 @@ def _closed_loop_report(results: Sequence[SweepResult]) -> None:
             continue  # e.g. a grid whose points all failed to complete
 
 
+def _add_observe(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="record deterministic metrics artifacts beside the cache "
+        "(forces execution: observed runs skip cache reads)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record packet-lifecycle traces (implies --observe)",
+    )
+    parser.add_argument(
+        "--observe-period",
+        type=float,
+        default=100.0,
+        metavar="NS",
+        help="metrics slice width in simulated ns (default: 100)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of packets traced, selected by a deterministic "
+        "hash of the packet identity (default: 1.0)",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed of the trace sampling hash (default: 0)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -189,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a parameter (JSON values; repeatable)",
     )
     _add_common(run_parser)
+    _add_observe(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="run one or more parameter sweeps")
     sweep_parser.add_argument(
@@ -206,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", "-j", type=int, default=1, help="worker processes (default: 1)"
     )
     _add_common(sweep_parser)
+    _add_observe(sweep_parser)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or prune the result cache"
@@ -226,6 +295,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="with prune: report what would be removed without deleting",
+    )
+    cache_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with stats: emit the statistics as JSON on stdout",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="export or list recorded packet traces"
+    )
+    trace_parser.add_argument(
+        "action",
+        choices=("export", "list"),
+        help="export: one trace artifact as Chrome/Perfetto JSON; "
+        "list: every observability artifact beside the cache",
+    )
+    trace_parser.add_argument(
+        "--digest",
+        default=None,
+        help="with export: config digest (or unique prefix) of the run",
+    )
+    trace_parser.add_argument(
+        "--input",
+        "-i",
+        default=None,
+        help="with export: read this trace artifact file instead of "
+        "resolving --digest against the cache",
+    )
+    trace_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    trace_parser.add_argument(
+        "--output", "-o", default="-", help="output path (default: stdout)"
+    )
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile one experiment configuration"
+    )
+    profile_parser.add_argument("experiment", help="registered experiment name")
+    profile_parser.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a parameter (JSON values; repeatable)",
+    )
+    profile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the subsystem shares as JSON instead of a table",
+    )
+    profile_parser.add_argument(
+        "--functions",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the top N functions by own time (stderr)",
+    )
+    profile_parser.add_argument(
+        "--output", "-o", default="-", help="output path (default: stdout)"
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the pinned benchmark grid"
+    )
+    bench_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the BENCH payload as JSON (default path: BENCH_<rev>.json)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="with --json: output path (default: BENCH_<rev>.json; "
+        "use - for stdout)",
+    )
+    bench_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="repeats per case; wall-clock reports best-of-N (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--case",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="run only this benchmark case (repeatable)",
     )
 
     report_parser = sub.add_parser("report", help="format sweep results")
@@ -271,6 +432,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="split --plot into one series per distinct value of these "
         "comma-separated columns (e.g. pattern,routing)",
     )
+    report_parser.add_argument(
+        "--timeline",
+        metavar="METRIC",
+        default=None,
+        help="instead of result tables, ASCII-chart this sliced metric "
+        "of an observability metrics artifact (e.g. machine/in_flight; "
+        "pass 'list' to enumerate the artifact's metrics)",
+    )
+    report_parser.add_argument(
+        "--artifact",
+        default=None,
+        help="with --timeline: path of the metrics artifact to read",
+    )
+    report_parser.add_argument(
+        "--digest",
+        default=None,
+        help="with --timeline: resolve the artifact by config digest "
+        "(or unique prefix) under <cache-dir>/observe instead",
+    )
     return parser
 
 
@@ -305,10 +485,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     grid = ParameterGrid({key: [value] for key, value in overrides.items()})
     sweep = Sweep(experiment.name, grid, label=f"run-{experiment.name}")
     cache = _open_cache(args)
-    result = run_sweep(sweep, jobs=1, cache=cache, progress=_progress)
+    observe = _observe_config(args)
+    result = run_sweep(
+        sweep, jobs=1, cache=cache, progress=_progress,
+        observe=observe, artifact_dir=_artifact_dir(args))
     _emit(args, [result])
+    _report_artifacts([result])
     _summarize([result], cache)
     return 0
+
+
+def _report_artifacts(results: Sequence[SweepResult]) -> None:
+    """List written observability artifacts on stderr."""
+    for result in results:
+        for run in result.runs:
+            for path in run.artifact_paths:
+                print(f"observe: wrote {path}", file=sys.stderr)
 
 
 def _resolve_sweeps(names: Sequence[str], smoke: bool) -> List[Sweep]:
@@ -344,8 +536,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     cache = _open_cache(args)
-    results = run_sweeps(sweeps, jobs=args.jobs, cache=cache, progress=_progress)
+    observe = _observe_config(args)
+    results = run_sweeps(
+        sweeps, jobs=args.jobs, cache=cache, progress=_progress,
+        observe=observe, artifact_dir=_artifact_dir(args))
     _emit(args, results)
+    _report_artifacts(results)
     _load_sweep_report(results)
     _closed_loop_report(results)
     _summarize(results, cache)
@@ -362,6 +558,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     if args.dry_run and args.action != "prune":
         print("error: --dry-run only applies to prune", file=sys.stderr)
+        return 2
+    if args.json and args.action != "stats":
+        print("error: --json only applies to stats", file=sys.stderr)
         return 2
     root = Path(args.cache_dir)
     if not root.is_dir():
@@ -393,6 +592,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             )
         total_entries = sum(bucket["entries"] for bucket in stats.values())
         total_bytes = sum(bucket["bytes"] for bucket in stats.values())
+        if args.json:
+            payload = {
+                "root": str(cache.root),
+                "configs": [
+                    {
+                        "experiment": experiment,
+                        "version": version,
+                        "entries": entries,
+                        "bytes": size,
+                        "status": status,
+                    }
+                    for experiment, version, entries, size, status in (
+                        (row[0], int(row[1]), int(row[2]), int(row[3]),
+                         row[4])
+                        for row in rows
+                    )
+                ],
+                "total": {"entries": total_entries, "bytes": total_bytes},
+            }
+            sys.stdout.write(
+                json.dumps(payload, sort_keys=True, indent=2) + "\n")
+            return 0
         print(
             format_table(
                 ("experiment", "version", "entries", "bytes", "status"),
@@ -423,7 +644,161 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_or_stdout(args: argparse.Namespace, text: str) -> None:
+    if args.output and args.output != "-":
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..observe.artifacts import find_artifact, list_artifacts, load_artifact
+    from ..observe.trace import chrome_trace_events
+
+    directory = _artifact_dir(args)
+    if args.action == "list":
+        from ..analysis.report import format_table
+
+        rows = list_artifacts(directory)
+        if not rows:
+            print(f"no observability artifacts under {directory}",
+                  file=sys.stderr)
+            return 0
+        print(format_table(
+            ("digest", "layer", "bytes", "path"),
+            [[row["digest"][:16], row["layer"], str(row["bytes"]),
+              row["path"]] for row in rows]))
+        return 0
+    # export
+    if args.input is not None:
+        path = Path(args.input)
+    elif args.digest is not None:
+        path = find_artifact(directory, args.digest, "trace")
+        if path is None:
+            print(f"error: no trace artifact for digest {args.digest!r} "
+                  f"under {directory}", file=sys.stderr)
+            return 2
+    else:
+        print("error: trace export needs --digest or --input",
+              file=sys.stderr)
+        return 2
+    artifact = load_artifact(path)
+    if artifact.get("layer") != "trace":
+        print(f"error: {path} is a {artifact.get('layer')!r} artifact, "
+              "not a trace", file=sys.stderr)
+        return 2
+    events = []
+    for pid, machine in enumerate(artifact["machines"]):
+        events.extend(chrome_trace_events(machine, pid=pid))
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    _write_or_stdout(
+        args, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from ..observe.profile import (
+        profile_callable,
+        profile_report,
+        subsystem_shares,
+    )
+
+    experiment = get_experiment(args.experiment)
+    overrides = _parse_set(args.assignments)
+    experiment.validate_params(overrides)
+    # Unprofiled warmup run: pays the one-time lazy-import cost (compile /
+    # exec / marshal frames from importlib) so the profiled run measures
+    # the simulator, not interpreter startup.
+    experiment.run(overrides)
+    __, stats = profile_callable(experiment.run, overrides)
+    shares, total_s = subsystem_shares(stats)
+    if args.functions > 0:
+        import io
+
+        buffer = io.StringIO()
+        stats.stream = buffer
+        stats.sort_stats("tottime").print_stats(args.functions)
+        print(buffer.getvalue(), file=sys.stderr)
+    if args.json:
+        attributed = sum(
+            share for name, share in shares.items() if name != "(other)")
+        payload = {
+            "experiment": experiment.name,
+            "params": overrides,
+            "total_s": total_s,
+            "shares": shares,
+            "attributed_fraction": (attributed / total_s if total_s else 0.0),
+        }
+        _write_or_stdout(
+            args, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    else:
+        _write_or_stdout(args, profile_report(shares, total_s) + "\n")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        BENCH_CASES,
+        bench_filename,
+        bench_table,
+        run_bench,
+    )
+
+    cases = None
+    if args.case:
+        by_name = {case.name: case for case in BENCH_CASES}
+        unknown = [name for name in args.case if name not in by_name]
+        if unknown:
+            known = ", ".join(sorted(by_name))
+            print(f"error: unknown bench case(s) {', '.join(unknown)}; "
+                  f"known: {known}", file=sys.stderr)
+            return 2
+        cases = tuple(by_name[name] for name in args.case)
+    payload = run_bench(repeat=args.repeat, cases=cases, progress=_progress)
+    if args.json:
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        output = args.output if args.output is not None else bench_filename(
+            payload["rev"])
+        if output == "-":
+            sys.stdout.write(text)
+        else:
+            Path(output).write_text(text, encoding="utf-8")
+            print(f"wrote {output}", file=sys.stderr)
+    else:
+        print(bench_table(payload))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from ..analysis.timeline import available_metrics, render_timeline
+    from ..observe.artifacts import find_artifact, load_artifact
+
+    if args.artifact is not None:
+        path = Path(args.artifact)
+    elif args.digest is not None:
+        directory = _artifact_dir(args)
+        path = find_artifact(directory, args.digest, "metrics")
+        if path is None:
+            print(f"error: no metrics artifact for digest {args.digest!r} "
+                  f"under {directory}", file=sys.stderr)
+            return 2
+    else:
+        print("error: --timeline needs --artifact or --digest",
+              file=sys.stderr)
+        return 2
+    artifact = load_artifact(path)
+    if args.timeline == "list":
+        for kind, name in available_metrics(artifact):
+            print(f"{kind:8s}{name}")
+        return 0
+    print(render_timeline(artifact, args.timeline))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.timeline is not None:
+        return _cmd_timeline(args)
     from ..analysis.aggregate import (
         grouped_percentile_table,
         load_payload,
@@ -532,6 +907,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except (KeyError, TypeError, ValueError, OSError) as error:
         # Bad experiment/parameter names, malformed inputs, unreadable
         # paths: report cleanly instead of dumping a traceback.

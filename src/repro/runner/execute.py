@@ -7,6 +7,14 @@ remainder is executed either inline (``jobs == 1``) or on a
 order regardless of completion order, and every result — fresh or
 cached — is canonicalized through JSON, so a sweep's output is
 byte-identical for any job count.
+
+Observability (:mod:`repro.observe`) rides in the task tuple, never in
+the parameter dict: an observed worker activates the ambient context,
+runs the configuration exactly as an unobserved worker would, and ships
+the collected per-machine artifacts back beside the result.  Cache
+digests therefore never depend on observation, and observed runs bypass
+cache *reads* (every config must actually execute to produce artifacts)
+while still populating the cache with their — byte-identical — results.
 """
 
 from __future__ import annotations
@@ -14,9 +22,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from .cache import ResultCache, canonicalize
+from ..observe import context as observe_context
+from ..observe.artifacts import write_run_artifacts
+from ..observe.config import ObserveConfig
+from .cache import ResultCache, canonicalize, config_digest
 from .experiment import Experiment, Sweep, get_experiment
 
 
@@ -29,6 +41,7 @@ class RunResult:
     result: dict
     cached: bool
     elapsed_s: float
+    artifact_paths: Tuple[str, ...] = ()
 
     def record(self) -> Dict[str, object]:
         """The deterministic, emittable form of this run."""
@@ -68,19 +81,35 @@ class SweepResult:
         }
 
 
-def _execute_task(task: Tuple[Experiment, Dict[str, object]]) -> Tuple[dict, float]:
+def _execute_task(
+    task: Tuple[Experiment, Dict[str, object], Optional[ObserveConfig]],
+) -> Tuple[dict, float, Optional[Dict[str, list]]]:
     """Worker entry point: run one configuration, canonicalize the result.
 
     The :class:`Experiment` itself travels in the task (its ``fn`` is a
     module-level function, picklable by reference), so workers need no
     registry state — custom-registered experiments work under any
-    multiprocessing start method, fork or spawn.
+    multiprocessing start method, fork or spawn.  The third element is
+    the :class:`~repro.observe.config.ObserveConfig` (or ``None``): it
+    is activated as the ambient context around the run, so any machine
+    the experiment builds observes itself, and the collected artifacts
+    travel back with the result.
     """
-    experiment, params = task
-    start = time.perf_counter()
-    result = experiment.run(params)
-    elapsed = time.perf_counter() - start
-    return canonicalize(result), elapsed
+    experiment, params, observe = task
+    if observe is None:
+        start = time.perf_counter()
+        result = experiment.run(params)
+        elapsed = time.perf_counter() - start
+        return canonicalize(result), elapsed, None
+    observe_context.activate(observe)
+    try:
+        start = time.perf_counter()
+        result = experiment.run(params)
+        elapsed = time.perf_counter() - start
+        artifacts = observe_context.collect()
+    finally:
+        observe_context.deactivate()
+    return canonicalize(result), elapsed, artifacts
 
 
 def run_sweep(
@@ -88,15 +117,25 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    observe: Optional[ObserveConfig] = None,
+    artifact_dir: Optional[Path] = None,
 ) -> SweepResult:
     """Execute every configuration of ``sweep``.
 
     ``jobs`` bounds worker processes for the uncached remainder; results
     come back in grid order either way.  With a ``cache``, completed
     configs are reused and fresh ones are stored.
+
+    With an enabled ``observe`` config every configuration executes (no
+    cache reads — a cached result has no artifacts) and each run's
+    collected artifacts are written under ``artifact_dir`` keyed by the
+    run's cache digest; results still land in the cache, byte-identical
+    to an unobserved run's.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if observe is not None and not observe.enabled:
+        observe = None
     experiment = get_experiment(sweep.experiment)
     grid = sweep.grid if sweep.grid is not None else experiment.grid
     param_sets: List[Dict[str, object]] = [canonicalize(p) for p in grid]
@@ -106,7 +145,7 @@ def run_sweep(
     for index, params in enumerate(param_sets):
         entry = (
             cache.get(experiment.name, params, experiment.version)
-            if cache is not None
+            if cache is not None and observe is None
             else None
         )
         if entry is not None:
@@ -126,9 +165,9 @@ def run_sweep(
             f"({len(param_sets) - len(pending)} cached, {len(pending)} to run)"
         )
 
-    tasks = [(experiment, param_sets[index]) for index in pending]
+    tasks = [(experiment, param_sets[index], observe) for index in pending]
     if not tasks:
-        outcomes: Iterable[Tuple[dict, float]] = ()
+        outcomes: Iterable[Tuple[dict, float, Optional[Dict[str, list]]]] = ()
     elif jobs == 1 or len(tasks) == 1:
         outcomes = map(_execute_task, tasks)
     else:
@@ -138,16 +177,22 @@ def run_sweep(
         finally:
             pool.shutdown()
 
-    for index, (result, elapsed) in zip(pending, outcomes):
+    for index, (result, elapsed, artifacts) in zip(pending, outcomes):
         params = param_sets[index]
         if cache is not None:
             cache.put(experiment.name, params, result, elapsed, experiment.version)
+        artifact_paths: Tuple[str, ...] = ()
+        if artifacts and artifact_dir is not None:
+            digest = config_digest(experiment.name, params, experiment.version)
+            written = write_run_artifacts(artifact_dir, digest, artifacts)
+            artifact_paths = tuple(str(path) for path in written)
         runs[index] = RunResult(
             experiment=experiment.name,
             params=params,
             result=result,
             cached=False,
             elapsed_s=elapsed,
+            artifact_paths=artifact_paths,
         )
         if progress is not None:
             progress(f"{sweep.name}: finished run {index + 1}/{len(param_sets)}")
@@ -164,6 +209,12 @@ def run_sweeps(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    observe: Optional[ObserveConfig] = None,
+    artifact_dir: Optional[Path] = None,
 ) -> List[SweepResult]:
     """Run several sweeps sequentially (each fans out internally)."""
-    return [run_sweep(s, jobs=jobs, cache=cache, progress=progress) for s in sweeps]
+    return [
+        run_sweep(s, jobs=jobs, cache=cache, progress=progress,
+                  observe=observe, artifact_dir=artifact_dir)
+        for s in sweeps
+    ]

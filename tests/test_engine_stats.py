@@ -89,6 +89,44 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram(0.0, 1.0, 0)
 
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(Histogram(0.0, 1.0, 4).percentile(50.0))
+
+    def test_percentile_rejects_out_of_range_q(self):
+        h = Histogram(0.0, 1.0, 4)
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(100.5)
+
+    def test_percentile_interpolates_within_a_bin(self):
+        # 10 observations spread one per bin: the rank walk reduces to
+        # linear interpolation over [0, 10).
+        h = Histogram(0.0, 10.0, 10)
+        for v in range(10):
+            h.observe(v + 0.5)
+        assert h.percentile(0.0) == pytest.approx(0.0)
+        assert h.percentile(50.0) == pytest.approx(5.0)
+        assert h.percentile(100.0) == pytest.approx(10.0)
+        assert h.percentile(25.0) == pytest.approx(2.5)
+
+    def test_percentile_mass_in_one_bin(self):
+        h = Histogram(0.0, 10.0, 10)
+        for __ in range(4):
+            h.observe(3.5)
+        # All mass in bin 3 -> every percentile lands inside [3, 4].
+        assert 3.0 <= h.percentile(1.0) <= 4.0
+        assert 3.0 <= h.percentile(99.0) <= 4.0
+
+    def test_percentile_underflow_overflow_resolve_to_bounds(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.observe(-5.0)
+        h.observe(5.5)
+        h.observe(50.0)
+        assert h.percentile(0.0) == 0.0    # underflow mass -> lo
+        assert h.percentile(100.0) == 10.0  # overflow mass -> hi
+
 
 class TestTimeSeries:
     def test_record_and_window_mean(self):
@@ -137,3 +175,47 @@ class TestStatsRegistry:
         reg.reset()
         assert reg.counter("a").value == 0
         assert reg.summary("s").count == 0
+
+    def test_histogram_identity_and_bounds_guard(self):
+        reg = StatsRegistry()
+        h = reg.histogram("lat", 0.0, 100.0, 10)
+        h.observe(5.0)
+        assert reg.histogram("lat", 0.0, 100.0, 10) is h
+        with pytest.raises(ValueError, match="already exists with bounds"):
+            reg.histogram("lat", 0.0, 200.0, 10)
+
+    def test_snapshot_is_a_deep_jsonable_audit(self):
+        import json
+
+        reg = StatsRegistry()
+        reg.counter("c").add(3)
+        reg.summary("s").observe(2.0)
+        reg.summary("empty")
+        reg.histogram("h", 0.0, 4.0, 2).observe(1.0)
+        snap = reg.snapshot()
+        json.dumps(snap, allow_nan=False)  # strict JSON, no NaN leaks
+        assert snap["counters"] == {"c": 3}
+        assert snap["summaries"]["s"]["count"] == 1
+        assert snap["summaries"]["empty"]["mean"] is None
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        # Deep copy: mutating the snapshot never touches the registry.
+        snap["histograms"]["h"]["counts"].append(99)
+        assert reg.histogram("h", 0.0, 4.0, 2).counts == [1, 0]
+
+    def test_reset_clears_histograms(self):
+        reg = StatsRegistry()
+        reg.histogram("h", 0.0, 4.0, 2).observe(1.0)
+        reg.reset()
+        assert reg.histogram("h", 0.0, 4.0, 2).total == 0
+
+    def test_snapshot_identical_for_identical_streams(self):
+        def fill(reg):
+            reg.counter("z").add(1)
+            reg.counter("a").add(2)
+            reg.histogram("h", 0.0, 1.0, 2).observe(0.25)
+            reg.summary("s").observe(3.0)
+            return reg
+
+        a = fill(StatsRegistry())
+        b = fill(StatsRegistry())
+        assert a.snapshot() == b.snapshot()

@@ -244,10 +244,11 @@ class TestRunSweep:
         experiment = get_experiment("fig11_fence")
         params = {"dims": [2, 2, 2], "chip_cols": 6, "chip_rows": 6,
                   "max_hops": 0}
-        task = pickle.loads(pickle.dumps((experiment, params)))
-        result, elapsed = _execute_task(task)
+        task = pickle.loads(pickle.dumps((experiment, params, None)))
+        result, elapsed, artifacts = _execute_task(task)
         assert result["num_nodes"] == 8
         assert elapsed > 0
+        assert artifacts is None
 
     def test_custom_registered_experiment(self, tmp_path):
         # Registration is additive.  With jobs > 1 the experiment is
