@@ -1,0 +1,487 @@
+"""The cross-run ledger: a persistent, append-only record of executions.
+
+PR 7 made one run observable; the ledger gives the repo memory *across*
+runs.  Every sweep execution appends one canonical JSON line per grid
+point to ``<cache-root>/ledger/ledger.jsonl`` — experiment, version,
+config digest, parameters, cache hit/miss, and (when observation was
+on) a numeric rollup of the run's metrics artifact — so any two runs of
+any two revisions can be compared by digest with ``repro-runner ledger
+{list,show,diff}``.
+
+Determinism contract (the ledger analogue of PR 7's zero-perturbation
+contract):
+
+* Ledger writes happen only in the runner — never inside simulation —
+  so result dicts and cache digests are byte-identical with the ledger
+  on or off.
+* ``ledger.jsonl`` records carry **no wall-clock times and no worker
+  ids**; they are appended by the coordinating process in grid order,
+  so the file is byte-identical across ``--jobs 1/N`` splits.  All
+  non-deterministic execution telemetry (heartbeat timestamps, worker
+  pids, elapsed wall seconds) lives in the clearly segregated
+  ``status.jsonl`` beside it (:mod:`repro.observe.status`).
+
+Appends are concurrent-writer safe: each record is a single
+``O_APPEND`` write of one complete line, so interleaved writers can
+reorder lines but never tear one.
+
+This module never imports the runner (the runner imports *us*).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .schema import LEDGER_SCHEMA_ID
+
+__all__ = [
+    "RunLedger",
+    "append_jsonl",
+    "canonical_line",
+    "diff_records",
+    "diff_table",
+    "flatten_numeric",
+    "latest_records",
+    "ledger_dir",
+    "ledger_table",
+    "metrics_rollup",
+    "read_jsonl",
+    "resolve_digest",
+    "working_tree_rev",
+]
+
+#: Directory and file names beside the result cache.
+LEDGER_DIRNAME = "ledger"
+LEDGER_FILENAME = "ledger.jsonl"
+STATUS_FILENAME = "status.jsonl"
+
+
+def ledger_dir(cache_root: Path) -> Path:
+    """The ledger directory beside a cache root (not created)."""
+    return Path(cache_root) / LEDGER_DIRNAME
+
+
+def working_tree_rev() -> str:
+    """Short git revision of the working tree, or ``unknown``.
+
+    Deterministic for a given checkout, so it is safe inside ledger
+    records (every ``--jobs`` split of one invocation sees the same
+    revision).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def flatten_numeric(payload: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested result dict as sorted dotted keys."""
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(payload[key], child))
+    elif isinstance(payload, bool):
+        pass
+    elif isinstance(payload, (int, float)):
+        flat[prefix] = float(payload)
+    return flat
+
+
+# ---------------------------------------------------------------------------
+# JSONL primitives.
+# ---------------------------------------------------------------------------
+
+
+def canonical_line(record: Mapping) -> bytes:
+    """One record as a complete canonical JSON line (UTF-8 bytes)."""
+    text = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    if "\n" in text:  # cannot happen with compact separators; be safe
+        raise ValueError("record serialized with an embedded newline")
+    return text.encode("utf-8") + b"\n"
+
+
+def append_jsonl(path: Path, record: Mapping) -> None:
+    """Append one record as a single atomic ``O_APPEND`` write.
+
+    POSIX appends position-then-write atomically, and the whole line
+    goes down in one ``os.write``, so concurrent appenders interleave
+    *lines*, never bytes within a line.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = canonical_line(record)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: Path, strict: bool = True) -> List[Dict[str, object]]:
+    """All records of one JSONL file, in file order.
+
+    ``strict`` raises on a malformed line; otherwise malformed lines
+    are skipped (a reader racing an in-flight append may see a partial
+    final line on non-POSIX filesystems).
+    """
+    records: List[Dict[str, object]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if strict:
+                raise ValueError(f"{path}:{number}: malformed JSONL line")
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        elif strict:
+            raise ValueError(f"{path}:{number}: record is not an object")
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Metrics rollup.
+# ---------------------------------------------------------------------------
+
+
+def _histogram_percentile(snapshot: Mapping, q: float) -> Optional[float]:
+    """Percentile of an exported histogram snapshot (None when empty)."""
+    counts = snapshot.get("counts") or []
+    underflow = int(snapshot.get("underflow", 0))
+    overflow = int(snapshot.get("overflow", 0))
+    total = sum(counts) + underflow + overflow
+    if total == 0:
+        return None
+    lo = float(snapshot["lo"])
+    hi = float(snapshot["hi"])
+    width = (hi - lo) / max(len(counts), 1)
+    target = q / 100.0 * total
+    cumulative = float(underflow)
+    if underflow and target <= cumulative:
+        return lo
+    for index, count in enumerate(counts):
+        if count and target <= cumulative + count:
+            fraction = (target - cumulative) / count
+            return lo + (index + fraction) * width
+        cumulative += count
+    return hi
+
+
+def metrics_rollup(machines: Sequence[Mapping]) -> Dict[str, object]:
+    """A small numeric summary of one run's metrics artifact machines.
+
+    Aggregates across every machine the run built: totals for
+    injections/deliveries/credit stalls, the time-mean in-flight packet
+    count, and p50/p99 end-to-end packet latency from the exported
+    histogram.  Pure arithmetic over the (byte-identical) artifact
+    payloads, so the rollup is deterministic across ``--jobs`` splits.
+    """
+    injections = deliveries = stalls = 0
+    inflight_weight = 0.0
+    inflight_time = 0.0
+    hist_counts: List[int] = []
+    hist_meta: Optional[Mapping] = None
+    underflow = overflow = 0
+    for machine in machines:
+        counters = machine.get("counters", {})
+        injections += sum(counters.get("machine/injections", ()))
+        deliveries += sum(counters.get("machine/deliveries", ()))
+        stalls += sum(counters.get("link/credit_stalls", ()))
+        means = machine.get("gauges", {}).get("machine/in_flight")
+        if means:
+            end_ns = float(machine.get("end_ns", 0.0))
+            period = float(machine.get("period_ns", 1.0))
+            span = end_ns if end_ns > 0 else period * len(means)
+            inflight_weight += sum(means) * (span / len(means))
+            inflight_time += span
+        snapshot = machine.get("stats", {}).get("histograms", {}).get(
+            "packet_latency_ns"
+        )
+        if snapshot:
+            counts = list(snapshot.get("counts") or [])
+            if not hist_counts:
+                hist_counts = counts
+                hist_meta = snapshot
+            elif len(counts) == len(hist_counts):
+                hist_counts = [a + b for a, b in zip(hist_counts, counts)]
+            underflow += int(snapshot.get("underflow", 0))
+            overflow += int(snapshot.get("overflow", 0))
+    merged = (
+        {
+            "lo": hist_meta["lo"],
+            "hi": hist_meta["hi"],
+            "counts": hist_counts,
+            "underflow": underflow,
+            "overflow": overflow,
+        }
+        if hist_meta is not None
+        else None
+    )
+    return {
+        "machines": len(machines),
+        "injections": injections,
+        "deliveries": deliveries,
+        "credit_stalls": stalls,
+        "mean_in_flight": (
+            inflight_weight / inflight_time if inflight_time else None
+        ),
+        "latency_p50_ns": (
+            _histogram_percentile(merged, 50.0) if merged else None
+        ),
+        "latency_p99_ns": (
+            _histogram_percentile(merged, 99.0) if merged else None
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# The ledger itself.
+# ---------------------------------------------------------------------------
+
+
+class RunLedger:
+    """Appender/reader for one ledger directory beside a result cache."""
+
+    def __init__(self, directory: Path, rev: Optional[str] = None) -> None:
+        self.directory = Path(directory)
+        self.rev = rev if rev is not None else working_tree_rev()
+
+    @property
+    def record_path(self) -> Path:
+        """The deterministic run-record file (``ledger.jsonl``)."""
+        return self.directory / LEDGER_FILENAME
+
+    @property
+    def status_path(self) -> Path:
+        """The segregated, non-deterministic status file."""
+        return self.directory / STATUS_FILENAME
+
+    def record_run(
+        self,
+        sweep: str,
+        grid_index: int,
+        experiment: str,
+        version: int,
+        digest: str,
+        params: Mapping[str, object],
+        result: Mapping[str, object],
+        cached: bool,
+        observed: bool,
+        metrics_machines: Optional[Sequence[Mapping]] = None,
+    ) -> Dict[str, object]:
+        """Build and append one deterministic run record."""
+        record: Dict[str, object] = {
+            "schema": LEDGER_SCHEMA_ID,
+            "rev": self.rev,
+            "sweep": sweep,
+            "grid_index": grid_index,
+            "experiment": experiment,
+            "version": version,
+            "digest": digest,
+            "params": dict(params),
+            "cached": bool(cached),
+            "observed": bool(observed),
+            "result": flatten_numeric(result),
+            "metrics": (
+                metrics_rollup(metrics_machines)
+                if metrics_machines
+                else None
+            ),
+        }
+        append_jsonl(self.record_path, record)
+        return record
+
+    def records(self, strict: bool = True) -> List[Dict[str, object]]:
+        return read_jsonl(self.record_path, strict=strict)
+
+    def status_events(self, strict: bool = False) -> List[Dict[str, object]]:
+        return read_jsonl(self.status_path, strict=strict)
+
+
+# ---------------------------------------------------------------------------
+# Queries: list, show, diff.
+# ---------------------------------------------------------------------------
+
+
+def latest_records(
+    records: Iterable[Mapping],
+) -> Dict[str, Dict[str, object]]:
+    """The most recent record per digest (file order == append order)."""
+    latest: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        digest = record.get("digest")
+        if isinstance(digest, str) and digest:
+            latest[digest] = dict(record)
+    return latest
+
+
+def resolve_digest(records: Iterable[Mapping], prefix: str) -> str:
+    """The unique ledger digest starting with ``prefix``.
+
+    Raises ``KeyError`` when nothing matches and ``ValueError`` when the
+    prefix is ambiguous.
+    """
+    matches = sorted(
+        {
+            record["digest"]
+            for record in records
+            if isinstance(record.get("digest"), str)
+            and record["digest"].startswith(prefix)
+        }
+    )
+    if not matches:
+        raise KeyError(f"no ledger record for digest {prefix!r}")
+    if len(matches) > 1:
+        shown = ", ".join(d[:16] for d in matches)
+        raise ValueError(f"digest prefix {prefix!r} is ambiguous: {shown}")
+    return matches[0]
+
+
+def _numeric_section(
+    a: Mapping, b: Mapping
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-key deltas of two flat numeric mappings (differing keys only)."""
+    deltas: Dict[str, Dict[str, Optional[float]]] = {}
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if left == right:
+            continue
+        entry: Dict[str, Optional[float]] = {"a": left, "b": right}
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            entry["delta"] = right - left
+            entry["ratio"] = right / left if left else None
+        deltas[key] = entry
+    return deltas
+
+
+def diff_records(a: Mapping, b: Mapping) -> Dict[str, object]:
+    """Structured comparison of two ledger records.
+
+    Sections: ``params`` (per-key differences), ``result`` (numeric
+    deltas/ratios over the flattened result surface), and ``metrics``
+    (rollup deltas, when both runs recorded one).  ``identical`` is
+    true exactly when every section is empty — a digest diffed against
+    itself always reports zero deltas.
+    """
+    params = {
+        key: {"a": a.get("params", {}).get(key), "b": b.get("params", {}).get(key)}
+        for key in sorted(
+            set(a.get("params", {})) | set(b.get("params", {}))
+        )
+        if a.get("params", {}).get(key) != b.get("params", {}).get(key)
+    }
+    result = _numeric_section(a.get("result") or {}, b.get("result") or {})
+    metrics_a = flatten_numeric(a.get("metrics") or {})
+    metrics_b = flatten_numeric(b.get("metrics") or {})
+    metrics = _numeric_section(metrics_a, metrics_b)
+    return {
+        "a": {key: a.get(key) for key in ("digest", "rev", "experiment", "version")},
+        "b": {key: b.get(key) for key in ("digest", "rev", "experiment", "version")},
+        "params": params,
+        "result": result,
+        "metrics": metrics,
+        "identical": not (params or result or metrics),
+    }
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def diff_table(diff: Mapping) -> str:
+    """Human-readable rendering of one :func:`diff_records` payload."""
+    a, b = diff["a"], diff["b"]
+    lines = [
+        f"a: {a['digest'][:16]} {a['experiment']} v{a['version']} @ {a['rev']}",
+        f"b: {b['digest'][:16]} {b['experiment']} v{b['version']} @ {b['rev']}",
+    ]
+    if diff["identical"]:
+        lines.append("no deltas: records are identical")
+        return "\n".join(lines)
+    for section in ("params", "result", "metrics"):
+        entries = diff[section]
+        if not entries:
+            continue
+        lines.append(f"{section}:")
+        for key, entry in entries.items():
+            left = _format_value(entry.get("a"))
+            right = _format_value(entry.get("b"))
+            extra = ""
+            if entry.get("ratio") is not None:
+                extra = f"  ({entry['ratio']:.3f}x)"
+            lines.append(f"  {key}: {left} -> {right}{extra}")
+    return "\n".join(lines)
+
+
+def ledger_table(records: Sequence[Mapping]) -> str:
+    """The ``ledger list`` table: one row per record, append order."""
+    rows = []
+    for record in records:
+        metrics = record.get("metrics")
+        rows.append(
+            [
+                str(record.get("digest", ""))[:16],
+                str(record.get("experiment", "")),
+                f"v{record.get('version', '?')}",
+                str(record.get("sweep", "")),
+                str(record.get("rev", "")),
+                "hit" if record.get("cached") else "run",
+                "yes" if record.get("observed") else "-",
+                (
+                    f"{metrics['deliveries']}"
+                    if isinstance(metrics, Mapping)
+                    and "deliveries" in metrics
+                    else "-"
+                ),
+            ]
+        )
+    header = (
+        "digest",
+        "experiment",
+        "ver",
+        "sweep",
+        "rev",
+        "cache",
+        "observed",
+        "delivered",
+    )
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows), 1)
+        if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(f"{header[i]:<{widths[i]}}" for i in range(len(header)))
+    ]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(f"{row[i]:<{widths[i]}}" for i in range(len(header)))
+        )
+    return "\n".join(lines)

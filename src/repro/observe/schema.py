@@ -13,15 +13,21 @@ from __future__ import annotations
 from typing import Mapping
 
 __all__ = [
+    "LEDGER_SCHEMA_ID",
     "METRICS_SCHEMA_ID",
+    "STATUS_SCHEMA_ID",
     "TRACE_SCHEMA_ID",
     "validate_chrome_trace",
+    "validate_ledger_record",
     "validate_metrics",
+    "validate_status_event",
     "validate_trace",
 ]
 
 METRICS_SCHEMA_ID = "repro.observe.metrics/1"
 TRACE_SCHEMA_ID = "repro.observe.trace/1"
+LEDGER_SCHEMA_ID = "repro.observe.ledger/1"
+STATUS_SCHEMA_ID = "repro.observe.status/1"
 
 
 def _require(condition: bool, message: str) -> None:
@@ -125,3 +131,71 @@ def validate_chrome_trace(payload: Mapping) -> None:
         elif phase == "i":
             _require(_number(event.get("ts")),
                      f"{where} instant event needs ts")
+
+
+def validate_ledger_record(record: Mapping) -> None:
+    """Validate one ``ledger.jsonl`` run record (raises ``ValueError``).
+
+    Beyond shape, this enforces the determinism split: a ledger record
+    must carry **no wall-clock or worker fields** — those belong to
+    status events — so any drift toward non-deterministic records fails
+    structurally.
+    """
+    _require(isinstance(record, Mapping), "ledger record is not a mapping")
+    _require(record.get("schema") == LEDGER_SCHEMA_ID,
+             f"ledger schema is {record.get('schema')!r}, "
+             f"expected {LEDGER_SCHEMA_ID!r}")
+    for key in ("rev", "sweep", "experiment"):
+        _require(isinstance(record.get(key), str) and record[key],
+                 f"ledger record {key} must be a non-empty string")
+    _require(isinstance(record.get("version"), int)
+             and record["version"] >= 1,
+             "ledger record version must be a positive integer")
+    digest = record.get("digest")
+    _require(isinstance(digest, str) and len(digest) == 64
+             and all(c in "0123456789abcdef" for c in digest),
+             "ledger record digest must be a 64-char hex content address")
+    _require(isinstance(record.get("grid_index"), int)
+             and record["grid_index"] >= 0,
+             "ledger record grid_index must be a non-negative integer")
+    _require(isinstance(record.get("cached"), bool),
+             "ledger record cached must be a boolean")
+    _require(isinstance(record.get("observed"), bool),
+             "ledger record observed must be a boolean")
+    _require(isinstance(record.get("params"), Mapping),
+             "ledger record params must be a mapping")
+    result = record.get("result")
+    _require(isinstance(result, Mapping), "ledger result must be a mapping")
+    _require(all(_number(value) for value in result.values()),
+             "ledger result must map to numbers")
+    metrics = record.get("metrics")
+    _require(metrics is None or isinstance(metrics, Mapping),
+             "ledger metrics must be a mapping or null")
+    for forbidden in ("t", "worker", "elapsed_s", "wall_s"):
+        _require(forbidden not in record,
+                 f"ledger record must not carry {forbidden!r} "
+                 "(non-deterministic fields live in status.jsonl)")
+
+
+def validate_status_event(event: Mapping) -> None:
+    """Validate one ``status.jsonl`` heartbeat event (raises ``ValueError``)."""
+    _require(isinstance(event, Mapping), "status event is not a mapping")
+    _require(event.get("schema") == STATUS_SCHEMA_ID,
+             f"status schema is {event.get('schema')!r}, "
+             f"expected {STATUS_SCHEMA_ID!r}")
+    _require(isinstance(event.get("sweep"), str),
+             "status event sweep must be a string")
+    _require(isinstance(event.get("index"), int) and event["index"] >= 0,
+             "status event index must be a non-negative integer")
+    state = event.get("state")
+    _require(state in ("queued", "running", "done", "cache-hit", "failed"),
+             f"status event state {state!r} is not a known state")
+    _require(_number(event.get("t")), "status event t must be a number")
+    _require(isinstance(event.get("worker"), int),
+             "status event worker must be an integer pid")
+    if "elapsed_s" in event:
+        _require(_number(event["elapsed_s"]) and event["elapsed_s"] >= 0,
+                 "status event elapsed_s must be a non-negative number")
+    if "digest" in event:
+        _require(isinstance(event["digest"], str) and event["digest"],
+                 "status event digest must be a non-empty string")

@@ -1,0 +1,264 @@
+"""Live sweep status: per-grid-point heartbeats and the progress board.
+
+Workers (and the coordinating runner) append one event per state change
+to ``<cache-root>/ledger/status.jsonl``:
+
+    queued -> running -> done | failed        (executed points)
+    cache-hit                                 (points served from cache)
+
+Events carry wall-clock timestamps, worker pids, and elapsed seconds —
+all **non-deterministic** execution telemetry, which is exactly why
+they live in their own file, segregated from the byte-stable
+``ledger.jsonl`` run records (:mod:`repro.observe.ledger`).  Appends
+use the same single-write ``O_APPEND`` discipline, so any number of
+workers can heartbeat concurrently without corrupting the file.
+
+``repro-runner status [--watch]`` folds the event stream into an ASCII
+progress board (per-sweep progress bar, throughput-based ETA,
+per-worker health); the runner prints an end-of-sweep summary (hit
+rate, slowest points, stragglers) when a sweep completes.
+
+Heartbeats are written only between simulations — never inside one —
+so the zero-perturbation contract holds: results and cache digests are
+byte-identical with status recording on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .schema import STATUS_SCHEMA_ID
+from .ledger import append_jsonl
+
+__all__ = [
+    "STATES",
+    "append_status",
+    "end_of_sweep_summary",
+    "fold_status",
+    "render_status_board",
+]
+
+#: Every state a grid point can report, in lifecycle order.
+STATES = ("queued", "running", "done", "cache-hit", "failed")
+
+#: States after which a point needs no further work.
+TERMINAL_STATES = ("done", "cache-hit", "failed")
+
+
+def append_status(
+    path: Path,
+    sweep: str,
+    index: int,
+    state: str,
+    digest: Optional[str] = None,
+    elapsed_s: Optional[float] = None,
+    t: Optional[float] = None,
+) -> Dict[str, object]:
+    """Append one heartbeat event (module-level: picklable for workers)."""
+    if state not in STATES:
+        raise ValueError(f"unknown status state {state!r}; expected {STATES}")
+    event: Dict[str, object] = {
+        "schema": STATUS_SCHEMA_ID,
+        "sweep": sweep,
+        "index": int(index),
+        "state": state,
+        "t": float(t if t is not None else time.time()),
+        "worker": os.getpid(),
+    }
+    if digest is not None:
+        event["digest"] = digest
+    if elapsed_s is not None:
+        event["elapsed_s"] = float(elapsed_s)
+    append_jsonl(path, event)
+    return event
+
+
+def fold_status(events: Sequence[Mapping]) -> Dict[str, object]:
+    """Fold an event stream into current per-sweep / per-worker state.
+
+    Returns ``{"sweeps": {label: {"points": {index: last_event},
+    "first_t", "last_t"}}, "workers": {pid: last_event}}``.  Events are
+    applied in file order; within one point, lifecycle order and append
+    order agree (a worker writes ``running`` before ``done``).
+    """
+    sweeps: Dict[str, Dict[str, object]] = {}
+    workers: Dict[int, Mapping] = {}
+    for event in events:
+        label = str(event.get("sweep", ""))
+        index = event.get("index")
+        if not isinstance(index, int):
+            continue
+        bucket = sweeps.setdefault(
+            label, {"points": {}, "first_t": None, "last_t": None}
+        )
+        points: Dict[int, Mapping] = bucket["points"]  # type: ignore[assignment]
+        previous = points.get(index)
+        # A stale `queued` replayed after a terminal state never rolls
+        # a point back (can happen when a sweep is re-run into the same
+        # status file: the re-run's queued events supersede normally,
+        # which is the desired "latest run wins" reading).
+        points[index] = event
+        del previous
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if bucket["first_t"] is None or t < bucket["first_t"]:
+                bucket["first_t"] = float(t)
+            if bucket["last_t"] is None or t > bucket["last_t"]:
+                bucket["last_t"] = float(t)
+        worker = event.get("worker")
+        if isinstance(worker, int) and event.get("state") != "queued":
+            workers[worker] = event
+    return {"sweeps": sweeps, "workers": workers}
+
+
+def _state_counts(points: Mapping[int, Mapping]) -> Dict[str, int]:
+    counts = {state: 0 for state in STATES}
+    for event in points.values():
+        state = str(event.get("state", ""))
+        if state in counts:
+            counts[state] += 1
+    return counts
+
+
+def _progress_bar(finished: int, total: int, width: int = 24) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    cells = round(finished / total * width)
+    return "[" + "#" * cells + "." * (width - cells) + "]"
+
+
+def _eta_seconds(
+    counts: Mapping[str, int], first_t: Optional[float], now: float
+) -> Optional[float]:
+    """Throughput-based ETA: remaining points / observed completion rate."""
+    completed = counts["done"] + counts["failed"]
+    remaining = counts["queued"] + counts["running"]
+    if remaining == 0:
+        return 0.0
+    if completed == 0 or first_t is None or now <= first_t:
+        return None
+    rate = completed / (now - first_t)
+    return remaining / rate if rate > 0 else None
+
+
+def _format_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "ETA ?"
+    if eta <= 0:
+        return "done"
+    if eta < 120:
+        return f"ETA {eta:.0f}s"
+    return f"ETA {eta / 60:.1f}m"
+
+
+def render_status_board(
+    events: Sequence[Mapping], now: Optional[float] = None
+) -> str:
+    """The ASCII progress board for one status event stream."""
+    if now is None:
+        now = time.time()
+    folded = fold_status(events)
+    sweeps: Mapping[str, Mapping] = folded["sweeps"]  # type: ignore[assignment]
+    if not sweeps:
+        return "no sweep status recorded"
+    lines: List[str] = []
+    for label in sorted(sweeps):
+        bucket = sweeps[label]
+        points: Mapping[int, Mapping] = bucket["points"]  # type: ignore[assignment]
+        counts = _state_counts(points)
+        total = len(points)
+        finished = sum(counts[state] for state in TERMINAL_STATES)
+        eta = _eta_seconds(counts, bucket.get("first_t"), now)
+        parts = [f"{counts['done']} done", f"{counts['cache-hit']} cache-hit"]
+        if counts["failed"]:
+            parts.append(f"{counts['failed']} FAILED")
+        parts.append(f"{counts['running']} running")
+        parts.append(f"{counts['queued']} queued")
+        lines.append(
+            f"{label}: {finished}/{total} finished "
+            f"{_progress_bar(finished, total)} "
+            f"({', '.join(parts)})  {_format_eta(eta)}"
+        )
+        for index in sorted(points):
+            event = points[index]
+            if event.get("state") != "running":
+                continue
+            t = event.get("t")
+            age = f" for {now - t:.1f}s" if isinstance(t, (int, float)) else ""
+            lines.append(
+                f"  point #{index} running on worker "
+                f"{event.get('worker', '?')}{age}"
+            )
+    workers: Mapping[int, Mapping] = folded["workers"]  # type: ignore[assignment]
+    if workers:
+        lines.append("workers:")
+        for pid in sorted(workers):
+            event = workers[pid]
+            t = event.get("t")
+            age = (
+                f"{now - t:.1f}s ago"
+                if isinstance(t, (int, float))
+                else "at ?"
+            )
+            lines.append(
+                f"  {pid}: {event.get('state')} #{event.get('index')} "
+                f"({event.get('sweep')}) {age}"
+            )
+    return "\n".join(lines)
+
+
+def all_points_terminal(events: Sequence[Mapping]) -> bool:
+    """True when every known grid point reached a terminal state."""
+    folded = fold_status(events)
+    sweeps: Mapping[str, Mapping] = folded["sweeps"]  # type: ignore[assignment]
+    if not sweeps:
+        return False
+    for bucket in sweeps.values():
+        for event in bucket["points"].values():  # type: ignore[union-attr]
+            if event.get("state") not in TERMINAL_STATES:
+                return False
+    return True
+
+
+def end_of_sweep_summary(
+    label: str,
+    runs: Sequence[Tuple[int, bool, float]],
+) -> str:
+    """The terminal end-of-sweep summary (hit rate, slowest, stragglers).
+
+    ``runs`` is ``(grid_index, cached, elapsed_s)`` per run, in grid
+    order — duck-typed so this module needs nothing from the runner.
+    """
+    total = len(runs)
+    hits = sum(1 for __, cached, __unused in runs if cached)
+    executed = [(index, elapsed) for index, cached, elapsed in runs if not cached]
+    lines = [
+        f"{label}: {total} points, {hits} cache hits "
+        f"({hits / total:.0%} hit rate)" if total else f"{label}: 0 points"
+    ]
+    if executed:
+        wall = sum(elapsed for __, elapsed in executed)
+        slowest = sorted(executed, key=lambda item: -item[1])[:3]
+        slowest_text = ", ".join(
+            f"#{index} {elapsed:.2f}s" for index, elapsed in slowest
+        )
+        lines.append(
+            f"  executed {len(executed)} in {wall:.2f}s simulated-work "
+            f"wall; slowest: {slowest_text}"
+        )
+        ordered = sorted(elapsed for __, elapsed in executed)
+        median = ordered[len(ordered) // 2]
+        stragglers = [
+            f"#{index}"
+            for index, elapsed in executed
+            if median > 0 and elapsed > 2.0 * median
+        ]
+        if stragglers:
+            lines.append(
+                f"  stragglers (>2x median {median:.2f}s): "
+                f"{', '.join(stragglers)}"
+            )
+    return "\n".join(lines)

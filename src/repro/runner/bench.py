@@ -19,13 +19,14 @@ CI overhead gate and cross-revision comparisons diff.
 
 from __future__ import annotations
 
-import subprocess
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..observe.ledger import flatten_numeric, working_tree_rev
 from .cache import canonicalize
 from .experiment import get_experiment
+from .sentinel import BENCH_SCHEMA_ID
 
 __all__ = ["BENCH_CASES", "BenchCase", "bench_filename", "current_rev",
            "flatten_numeric", "run_bench"]
@@ -83,33 +84,16 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
 
 
 def current_rev() -> str:
-    """Short git revision of the working tree, or ``unknown``."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10, check=False)
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else "unknown"
+    """Short git revision of the working tree, or ``unknown``.
+
+    Shared with the run ledger (:func:`repro.observe.ledger.working_tree_rev`)
+    so bench snapshots and ledger records stamp the same revision string.
+    """
+    return working_tree_rev()
 
 
 def bench_filename(rev: Optional[str] = None) -> str:
     return f"BENCH_{rev if rev is not None else current_rev()}.json"
-
-
-def flatten_numeric(payload: object, prefix: str = "") -> Dict[str, float]:
-    """Numeric leaves of a nested result dict as sorted dotted keys."""
-    flat: Dict[str, float] = {}
-    if isinstance(payload, dict):
-        for key in sorted(payload):
-            child = f"{prefix}.{key}" if prefix else str(key)
-            flat.update(flatten_numeric(payload[key], child))
-    elif isinstance(payload, bool):
-        pass
-    elif isinstance(payload, (int, float)):
-        flat[prefix] = float(payload)
-    return flat
 
 
 def _dig(payload: object, dotted: str) -> Optional[float]:
@@ -161,7 +145,7 @@ def run_bench(repeat: int = 3,
             "metrics": flatten_numeric(result),
         })
     return {
-        "schema": "repro.bench/1",
+        "schema": BENCH_SCHEMA_ID,
         "rev": current_rev(),
         "repeat": repeat,
         "cases": rows,

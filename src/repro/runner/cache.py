@@ -6,6 +6,13 @@ per digest under ``<root>/<digest[:2]>/<digest>.json`` so repeated
 sweeps are served from disk instead of re-simulating.  Entries record
 the config alongside the result, so the cache is self-describing and a
 ``report`` can be generated from the cache directory alone.
+
+The cache root also hosts sibling subsystems that are *not* result
+entries — ``observe/`` (metrics/trace artifacts keyed by the same
+digests) and ``ledger/`` (the cross-run ledger) — so entry scans match
+only the two-hex-char shard directories.  ``prune`` additionally sweeps
+observe artifacts orphaned by entry removal: an artifact whose digest
+no longer has a live cache entry can never be resolved again.
 """
 
 from __future__ import annotations
@@ -70,6 +77,11 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+#: Entry files live only under the two-hex-char shard directories;
+#: sibling subsystems (observe/, ledger/) are never entries.
+_ENTRY_GLOB = "[0-9a-f][0-9a-f]/*.json"
+
+
 @dataclass
 class ResultCache:
     """A directory of content-addressed experiment results."""
@@ -83,6 +95,9 @@ class ResultCache:
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
+
+    def _entry_paths(self) -> Iterator[Path]:
+        return self.root.glob(_ENTRY_GLOB)
 
     def get(
         self, experiment: str, params: Mapping[str, object], version: int = 1
@@ -137,7 +152,7 @@ class ResultCache:
         self, experiment: Optional[str] = None
     ) -> Iterator[Dict[str, object]]:
         """All readable entries, optionally filtered by experiment name."""
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in sorted(self._entry_paths()):
             try:
                 entry = json.loads(path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
@@ -153,7 +168,7 @@ class ResultCache:
         silently skipping (they are misses on every lookup anyway).
         """
         stats: Dict[Tuple[str, int], Dict[str, int]] = {}
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in sorted(self._entry_paths()):
             size = path.stat().st_size
             try:
                 entry = json.loads(path.read_text(encoding="utf-8"))
@@ -165,6 +180,38 @@ class ResultCache:
             bucket["bytes"] += size
         return stats
 
+    def _artifact_paths(self) -> Iterator[Path]:
+        """Observability artifact files beside the entries."""
+        from ..observe.artifacts import observe_dir
+
+        return observe_dir(self.root).glob("*.json")
+
+    def _live_digests(self) -> set:
+        return {path.stem for path in self._entry_paths()}
+
+    def observe_stats(self) -> Dict[str, int]:
+        """Artifact counts/bytes under ``observe/``, live vs orphaned.
+
+        An artifact is *orphaned* when its digest no longer has a live
+        cache entry (the run was pruned or the cache cleared): nothing
+        can resolve it by digest anymore, so ``prune`` reclaims it.
+        """
+        live = self._live_digests()
+        artifacts = size = orphaned = orphaned_size = 0
+        for path in sorted(self._artifact_paths()):
+            bytes_ = path.stat().st_size
+            artifacts += 1
+            size += bytes_
+            if path.name.split(".")[0] not in live:
+                orphaned += 1
+                orphaned_size += bytes_
+        return {
+            "artifacts": artifacts,
+            "bytes": size,
+            "orphaned": orphaned,
+            "orphaned_bytes": orphaned_size,
+        }
+
     def prune(self, registered: Mapping[str, int]) -> Dict[str, int]:
         """Delete entries whose ``(experiment, version)`` is not registered.
 
@@ -172,11 +219,13 @@ class ResultCache:
         an entry survives only when its experiment is present at exactly
         that version — anything else (renamed experiments, stale
         versions after a semantics bump, corrupt files) can never be
-        served again and is removed.  Returns ``{"removed", "kept",
-        "freed_bytes"}``.
+        served again and is removed.  Observability artifacts whose
+        digest has no surviving entry are swept with them.  Returns
+        ``{"removed", "kept", "freed_bytes", "artifacts_removed",
+        "artifacts_freed_bytes"}``.
         """
         removed = kept = freed = 0
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in sorted(self._entry_paths()):
             size = path.stat().st_size
             try:
                 entry = json.loads(path.read_text(encoding="utf-8"))
@@ -191,15 +240,29 @@ class ResultCache:
                 freed += size
             else:
                 kept += 1
-        return {"removed": removed, "kept": kept, "freed_bytes": freed}
+        live = self._live_digests()
+        artifacts_removed = artifacts_freed = 0
+        for path in sorted(self._artifact_paths()):
+            if path.name.split(".")[0] in live:
+                continue
+            artifacts_freed += path.stat().st_size
+            path.unlink()
+            artifacts_removed += 1
+        return {
+            "removed": removed,
+            "kept": kept,
+            "freed_bytes": freed,
+            "artifacts_removed": artifacts_removed,
+            "artifacts_freed_bytes": artifacts_freed,
+        }
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             path.unlink()
             removed += 1
         return removed

@@ -15,11 +15,21 @@ Subcommands:
 * ``profile EXPERIMENT`` — cProfile one configuration and attribute
   wall-clock to repro subsystems.
 * ``bench`` — the pinned benchmark grid (``BENCH_<rev>.json``).
+* ``ledger {list,show,diff}`` — the persistent cross-run ledger beside
+  the cache: every execution ever recorded, queryable and diffable by
+  config digest across runs and revisions.
+* ``status [--watch]`` — the live sweep progress board folded from the
+  workers' heartbeat stream.
+* ``regress`` — the noise-aware benchmark regression sentinel: compares
+  a ``bench --json`` snapshot against baseline history and exits
+  nonzero on a regression (CI-ready).
 
 ``run``/``sweep`` accept ``--observe``/``--trace`` (repro.observe):
 observed runs execute every configuration (no cache reads), write
 metrics/trace artifacts beside the cache keyed by each run's config
 digest, and still produce byte-identical results and cache entries.
+With a cache they also append to the run ledger (``--no-ledger`` to
+opt out); ledger writes never affect results or digests.
 
 Result payloads go to stdout (or ``--output``); progress and cache
 statistics go to stderr, so stdout is always machine-consumable and
@@ -60,6 +70,19 @@ def _open_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     if getattr(args, "no_cache", False):
         return None
     return ResultCache(Path(args.cache_dir))
+
+
+def _open_ledger(args: argparse.Namespace, cache: Optional[ResultCache]):
+    """The RunLedger beside the cache, or None (--no-ledger / --no-cache).
+
+    The ledger lives beside the cache, so disabling the cache disables
+    the ledger with it; ``--no-ledger`` opts out independently.
+    """
+    if cache is None or getattr(args, "no_ledger", False):
+        return None
+    from ..observe.ledger import RunLedger, ledger_dir
+
+    return RunLedger(ledger_dir(cache.root))
 
 
 def _observe_config(args: argparse.Namespace):
@@ -220,6 +243,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="do not read or write the cache"
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record this execution in the run ledger "
+        "(--no-cache implies this: the ledger lives beside the cache)",
     )
     parser.add_argument(
         "--format", choices=("json", "csv"), default="json", help="output format"
@@ -389,6 +418,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this benchmark case (repeatable)",
     )
 
+    ledger_parser = sub.add_parser(
+        "ledger", help="query the persistent cross-run ledger"
+    )
+    ledger_parser.add_argument(
+        "action",
+        choices=("list", "show", "diff"),
+        help="list: one row per recorded execution; "
+        "show: the latest record of one digest; "
+        "diff: compare two digests' records (params/result/metrics)",
+    )
+    ledger_parser.add_argument(
+        "digests",
+        nargs="*",
+        metavar="DIGEST",
+        help="config digest (or unique prefix): one for show, two for diff",
+    )
+    ledger_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    ledger_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit records / the diff as JSON on stdout",
+    )
+
+    status_parser = sub.add_parser(
+        "status", help="show the live sweep progress board"
+    )
+    status_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    status_parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="re-render until every grid point reaches a terminal state",
+    )
+    status_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="with --watch: seconds between renders (default: 2)",
+    )
+
+    regress_parser = sub.add_parser(
+        "regress", help="noise-aware benchmark regression check"
+    )
+    regress_parser.add_argument(
+        "--against",
+        action="append",
+        default=[],
+        required=True,
+        metavar="BENCH_JSON",
+        help="baseline BENCH_<rev>.json snapshot (repeatable; repeats "
+        "are pooled into the per-case noise band)",
+    )
+    regress_parser.add_argument(
+        "--current",
+        default=None,
+        metavar="BENCH_JSON",
+        help="current snapshot to classify (default: run the bench now)",
+    )
+    regress_parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="without --current: bench repeats per case (default: 3)",
+    )
+    regress_parser.add_argument(
+        "--min-rel",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative slowdown floor below which nothing is flagged "
+        "(default: 0.10)",
+    )
+    regress_parser.add_argument(
+        "--sigma",
+        type=float,
+        default=None,
+        help="noise-band width in baseline coefficient-of-variation "
+        "units (default: 4.0)",
+    )
+    regress_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    regress_parser.add_argument(
+        "--output", "-o", default="-", help="output path (default: stdout)"
+    )
+
     report_parser = sub.add_parser("report", help="format sweep results")
     report_parser.add_argument(
         "--input",
@@ -446,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --timeline: path of the metrics artifact to read",
     )
     report_parser.add_argument(
+        "--by",
+        choices=("vc",),
+        default=None,
+        help="with --timeline: expand the metric into one series per "
+        "sub-resource (vc: per-virtual-channel, e.g. --timeline "
+        "link/host0.out/occupancy --by vc charts every "
+        "link/host0.out/vc<k>/occupancy)",
+    )
+    report_parser.add_argument(
         "--digest",
         default=None,
         help="with --timeline: resolve the artifact by config digest "
@@ -486,9 +620,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sweep = Sweep(experiment.name, grid, label=f"run-{experiment.name}")
     cache = _open_cache(args)
     observe = _observe_config(args)
+    ledger = _open_ledger(args, cache)
     result = run_sweep(
         sweep, jobs=1, cache=cache, progress=_progress,
-        observe=observe, artifact_dir=_artifact_dir(args))
+        observe=observe, artifact_dir=_artifact_dir(args), ledger=ledger)
     _emit(args, [result])
     _report_artifacts([result])
     _summarize([result], cache)
@@ -537,13 +672,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     cache = _open_cache(args)
     observe = _observe_config(args)
+    ledger = _open_ledger(args, cache)
     results = run_sweeps(
         sweeps, jobs=args.jobs, cache=cache, progress=_progress,
-        observe=observe, artifact_dir=_artifact_dir(args))
+        observe=observe, artifact_dir=_artifact_dir(args), ledger=ledger)
     _emit(args, results)
     _report_artifacts(results)
     _load_sweep_report(results)
     _closed_loop_report(results)
+    if ledger is not None:
+        from ..observe.status import end_of_sweep_summary
+
+        for result in results:
+            runs = [
+                (index, run.cached, run.elapsed_s)
+                for index, run in enumerate(result.runs)
+            ]
+            print(end_of_sweep_summary(result.label, runs), file=sys.stderr)
     _summarize(results, cache)
     return 0
 
@@ -592,6 +737,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             )
         total_entries = sum(bucket["entries"] for bucket in stats.values())
         total_bytes = sum(bucket["bytes"] for bucket in stats.values())
+        observe = cache.observe_stats()
         if args.json:
             payload = {
                 "root": str(cache.root),
@@ -610,6 +756,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                     )
                 ],
                 "total": {"entries": total_entries, "bytes": total_bytes},
+                "observe": observe,
             }
             sys.stdout.write(
                 json.dumps(payload, sort_keys=True, indent=2) + "\n")
@@ -624,6 +771,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"total: {total_entries} entries, {total_bytes} bytes "
             f"in {cache.root}"
         )
+        if observe["artifacts"]:
+            print(
+                f"observe: {observe['artifacts']} artifacts, "
+                f"{observe['bytes']} bytes "
+                f"({observe['orphaned']} orphaned, "
+                f"{observe['orphaned_bytes']} bytes reclaimable by prune)"
+            )
         return 0
     # prune
     if args.dry_run:
@@ -633,7 +787,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             if registered.get(experiment) != version:
                 removed += bucket["entries"]
                 freed += bucket["bytes"]
+        observe = cache.observe_stats()
         print(f"would remove {removed} entries ({freed} bytes) from {cache.root}")
+        if observe["orphaned"]:
+            print(
+                f"would sweep {observe['orphaned']} orphaned observe "
+                f"artifacts ({observe['orphaned_bytes']} bytes)"
+            )
         return 0
     outcome = cache.prune(registered)
     print(
@@ -641,6 +801,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"({outcome['freed_bytes']} bytes), kept {outcome['kept']} "
         f"in {cache.root}"
     )
+    if outcome["artifacts_removed"]:
+        print(
+            f"swept {outcome['artifacts_removed']} orphaned observe "
+            f"artifacts ({outcome['artifacts_freed_bytes']} bytes)"
+        )
     return 0
 
 
@@ -770,6 +935,105 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from ..observe.ledger import (
+        diff_records,
+        diff_table,
+        latest_records,
+        ledger_dir,
+        ledger_table,
+        resolve_digest,
+        RunLedger,
+    )
+
+    ledger = RunLedger(ledger_dir(Path(args.cache_dir)))
+    records = ledger.records(strict=False)
+    if not records:
+        print(f"no ledger records at {ledger.record_path}", file=sys.stderr)
+        return 2 if args.action != "list" else 0
+    if args.action == "list":
+        if args.digests:
+            print("error: ledger list takes no digest arguments",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            sys.stdout.write(
+                json.dumps(records, sort_keys=True, indent=2) + "\n")
+        else:
+            print(ledger_table(records))
+            print(f"{len(records)} records in {ledger.record_path}",
+                  file=sys.stderr)
+        return 0
+    latest = latest_records(records)
+    if args.action == "show":
+        if len(args.digests) != 1:
+            print("error: ledger show takes exactly one DIGEST",
+                  file=sys.stderr)
+            return 2
+        digest = resolve_digest(records, args.digests[0])
+        sys.stdout.write(
+            json.dumps(latest[digest], sort_keys=True, indent=2) + "\n")
+        return 0
+    # diff
+    if len(args.digests) != 2:
+        print("error: ledger diff takes exactly two DIGESTs", file=sys.stderr)
+        return 2
+    a = latest[resolve_digest(records, args.digests[0])]
+    b = latest[resolve_digest(records, args.digests[1])]
+    diff = diff_records(a, b)
+    if args.json:
+        sys.stdout.write(json.dumps(diff, sort_keys=True, indent=2) + "\n")
+    else:
+        print(diff_table(diff))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time
+
+    from ..observe.ledger import ledger_dir, RunLedger
+    from ..observe.status import all_points_terminal, render_status_board
+
+    ledger = RunLedger(ledger_dir(Path(args.cache_dir)))
+    while True:
+        events = ledger.status_events()
+        print(render_status_board(events))
+        if not args.watch or all_points_terminal(events):
+            return 0
+        time.sleep(max(args.interval, 0.05))
+        print()
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .sentinel import (
+        DEFAULT_MIN_REL,
+        DEFAULT_SIGMA,
+        evaluate,
+        load_bench,
+        regress_table,
+    )
+
+    baselines = [load_bench(Path(path)) for path in args.against]
+    if args.current is not None:
+        current = load_bench(Path(args.current))
+    else:
+        from .bench import run_bench
+
+        current = run_bench(repeat=args.repeat, progress=_progress)
+    report = evaluate(
+        current,
+        baselines,
+        min_rel=args.min_rel if args.min_rel is not None else DEFAULT_MIN_REL,
+        sigma=args.sigma if args.sigma is not None else DEFAULT_SIGMA,
+    )
+    if args.json:
+        _write_or_stdout(
+            args, json.dumps(report, sort_keys=True, indent=2) + "\n")
+    else:
+        _write_or_stdout(args, regress_table(report) + "\n")
+    return int(report["exit_code"])
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from ..analysis.timeline import available_metrics, render_timeline
     from ..observe.artifacts import find_artifact, load_artifact
@@ -792,7 +1056,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         for kind, name in available_metrics(artifact):
             print(f"{kind:8s}{name}")
         return 0
-    print(render_timeline(artifact, args.timeline))
+    print(render_timeline(artifact, args.timeline, by=args.by))
     return 0
 
 
@@ -913,6 +1177,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "ledger":
+            return _cmd_ledger(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "regress":
+            return _cmd_regress(args)
     except (KeyError, TypeError, ValueError, OSError) as error:
         # Bad experiment/parameter names, malformed inputs, unreadable
         # paths: report cleanly instead of dumping a traceback.

@@ -15,6 +15,15 @@ the collected per-machine artifacts back beside the result.  Cache
 digests therefore never depend on observation, and observed runs bypass
 cache *reads* (every config must actually execute to produce artifacts)
 while still populating the cache with their — byte-identical — results.
+
+Cross-run accounting (:mod:`repro.observe.ledger`) follows the same
+discipline with a determinism split: workers heartbeat per-grid-point
+state (queued/running/done/cache-hit/failed, wall times, pids) into the
+non-deterministic ``status.jsonl``, while the coordinating process
+appends one deterministic record per grid point — in grid order, with
+no wall-clock fields — to ``ledger.jsonl``, which is therefore
+byte-identical across ``--jobs`` splits.  Both writes happen strictly
+outside simulation, so results and digests never depend on the ledger.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..observe import context as observe_context
 from ..observe.artifacts import write_run_artifacts
 from ..observe.config import ObserveConfig
+from ..observe.ledger import RunLedger
+from ..observe.status import append_status
 from .cache import ResultCache, canonicalize, config_digest
 from .experiment import Experiment, Sweep, get_experiment
 
@@ -81,8 +92,14 @@ class SweepResult:
         }
 
 
+#: Where a worker heartbeats one grid point: (status file path, sweep
+#: label, grid index, config digest).  None disables status writes.
+StatusRef = Optional[Tuple[str, str, int, str]]
+
+
 def _execute_task(
-    task: Tuple[Experiment, Dict[str, object], Optional[ObserveConfig]],
+    task: Tuple[Experiment, Dict[str, object], Optional[ObserveConfig],
+                StatusRef],
 ) -> Tuple[dict, float, Optional[Dict[str, list]]]:
     """Worker entry point: run one configuration, canonicalize the result.
 
@@ -93,22 +110,38 @@ def _execute_task(
     the :class:`~repro.observe.config.ObserveConfig` (or ``None``): it
     is activated as the ambient context around the run, so any machine
     the experiment builds observes itself, and the collected artifacts
-    travel back with the result.
+    travel back with the result.  The fourth is the status heartbeat
+    target (or ``None``): lifecycle events are appended strictly before
+    and after the simulation, never inside it.
     """
-    experiment, params, observe = task
-    if observe is None:
-        start = time.perf_counter()
-        result = experiment.run(params)
-        elapsed = time.perf_counter() - start
-        return canonicalize(result), elapsed, None
-    observe_context.activate(observe)
+    experiment, params, observe, status = task
+    if status is not None:
+        path, sweep_label, index, digest = status
+        append_status(Path(path), sweep_label, index, "running",
+                      digest=digest)
     try:
-        start = time.perf_counter()
-        result = experiment.run(params)
-        elapsed = time.perf_counter() - start
-        artifacts = observe_context.collect()
-    finally:
-        observe_context.deactivate()
+        if observe is None:
+            start = time.perf_counter()
+            result = experiment.run(params)
+            elapsed = time.perf_counter() - start
+            artifacts = None
+        else:
+            observe_context.activate(observe)
+            try:
+                start = time.perf_counter()
+                result = experiment.run(params)
+                elapsed = time.perf_counter() - start
+                artifacts = observe_context.collect()
+            finally:
+                observe_context.deactivate()
+    except BaseException:
+        if status is not None:
+            append_status(Path(path), sweep_label, index, "failed",
+                          digest=digest)
+        raise
+    if status is not None:
+        append_status(Path(path), sweep_label, index, "done",
+                      digest=digest, elapsed_s=elapsed)
     return canonicalize(result), elapsed, artifacts
 
 
@@ -119,6 +152,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     observe: Optional[ObserveConfig] = None,
     artifact_dir: Optional[Path] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> SweepResult:
     """Execute every configuration of ``sweep``.
 
@@ -131,6 +165,13 @@ def run_sweep(
     collected artifacts are written under ``artifact_dir`` keyed by the
     run's cache digest; results still land in the cache, byte-identical
     to an unobserved run's.
+
+    With a ``ledger``, workers heartbeat per-point status into the
+    ledger's status file while the sweep runs, and one deterministic
+    record per grid point is appended to the run ledger afterwards —
+    in grid order, so ``ledger.jsonl`` is byte-identical for any job
+    count.  Neither write can perturb results: both happen strictly
+    outside simulation.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -139,8 +180,14 @@ def run_sweep(
     experiment = get_experiment(sweep.experiment)
     grid = sweep.grid if sweep.grid is not None else experiment.grid
     param_sets: List[Dict[str, object]] = [canonicalize(p) for p in grid]
+    digests: List[str] = [
+        config_digest(experiment.name, params, experiment.version)
+        for params in param_sets
+    ]
+    status_path = ledger.status_path if ledger is not None else None
 
     runs: List[Optional[RunResult]] = [None] * len(param_sets)
+    metrics_by_index: Dict[int, list] = {}
     pending: List[int] = []
     for index, params in enumerate(param_sets):
         entry = (
@@ -156,8 +203,14 @@ def run_sweep(
                 cached=True,
                 elapsed_s=float(entry.get("elapsed_s") or 0.0),
             )
+            if status_path is not None:
+                append_status(status_path, sweep.name, index, "cache-hit",
+                              digest=digests[index])
         else:
             pending.append(index)
+            if status_path is not None:
+                append_status(status_path, sweep.name, index, "queued",
+                              digest=digests[index])
 
     if progress is not None and param_sets:
         progress(
@@ -165,7 +218,17 @@ def run_sweep(
             f"({len(param_sets) - len(pending)} cached, {len(pending)} to run)"
         )
 
-    tasks = [(experiment, param_sets[index], observe) for index in pending]
+    tasks = [
+        (
+            experiment,
+            param_sets[index],
+            observe,
+            (str(status_path), sweep.name, index, digests[index])
+            if status_path is not None
+            else None,
+        )
+        for index in pending
+    ]
     if not tasks:
         outcomes: Iterable[Tuple[dict, float, Optional[Dict[str, list]]]] = ()
     elif jobs == 1 or len(tasks) == 1:
@@ -183,9 +246,11 @@ def run_sweep(
             cache.put(experiment.name, params, result, elapsed, experiment.version)
         artifact_paths: Tuple[str, ...] = ()
         if artifacts and artifact_dir is not None:
-            digest = config_digest(experiment.name, params, experiment.version)
-            written = write_run_artifacts(artifact_dir, digest, artifacts)
+            written = write_run_artifacts(artifact_dir, digests[index],
+                                          artifacts)
             artifact_paths = tuple(str(path) for path in written)
+        if artifacts and ledger is not None:
+            metrics_by_index[index] = artifacts.get("metrics") or []
         runs[index] = RunResult(
             experiment=experiment.name,
             params=params,
@@ -196,6 +261,25 @@ def run_sweep(
         )
         if progress is not None:
             progress(f"{sweep.name}: finished run {index + 1}/{len(param_sets)}")
+
+    if ledger is not None:
+        # Deterministic records, appended by the coordinator in grid
+        # order: no wall times, no worker ids, byte-identical --jobs 1/N.
+        for index, run in enumerate(runs):
+            if run is None:
+                continue
+            ledger.record_run(
+                sweep=sweep.name,
+                grid_index=index,
+                experiment=experiment.name,
+                version=experiment.version,
+                digest=digests[index],
+                params=run.params,
+                result=run.result,
+                cached=run.cached,
+                observed=observe is not None,
+                metrics_machines=metrics_by_index.get(index),
+            )
 
     return SweepResult(
         label=sweep.name,
@@ -211,10 +295,11 @@ def run_sweeps(
     progress: Optional[Callable[[str], None]] = None,
     observe: Optional[ObserveConfig] = None,
     artifact_dir: Optional[Path] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> List[SweepResult]:
     """Run several sweeps sequentially (each fans out internally)."""
     return [
         run_sweep(s, jobs=jobs, cache=cache, progress=progress,
-                  observe=observe, artifact_dir=artifact_dir)
+                  observe=observe, artifact_dir=artifact_dir, ledger=ledger)
         for s in sweeps
     ]

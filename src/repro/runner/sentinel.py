@@ -1,0 +1,242 @@
+"""``repro-runner regress`` — the noise-aware benchmark regression sentinel.
+
+Continuous performance characterization needs more than a single
+number: host wall-clock is noisy, so a naive threshold either cries
+wolf or sleeps through real slowdowns.  The sentinel loads the
+``BENCH_<rev>.json`` snapshots produced by ``repro-runner bench
+--json`` (:mod:`repro.runner.bench`), fits a per-case noise band from
+the repeated samples every snapshot carries, and classifies the current
+snapshot against one or more baselines:
+
+* **PASS** — the best-of-N wall-clock sits inside the noise band.
+* **REGRESSED** — slower than ``baseline * (1 + threshold)``.
+* **IMPROVED** — faster than ``baseline / (1 + threshold)``.
+* **NEW** / **MISSING** — the case exists on only one side.
+
+The per-case threshold is ``max(min_rel, sigma * cv)`` where ``cv`` is
+the coefficient of variation (stddev/mean) of the pooled baseline
+samples: quiet cases get the tight floor, jittery cases earn a wider
+band, and a genuine 2x slowdown clears any plausible band.  The report
+carries a machine-readable exit code (0 clean, 1 regressed) for CI.
+
+Result drift rides along: every bench snapshot embeds the flattened
+numeric result surface, so a perf change that also changed *results*
+is listed per case under ``results_changed`` (informational — the
+determinism gates elsewhere in CI are the hard failure for that).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "REGRESS_SCHEMA_ID",
+    "evaluate",
+    "load_bench",
+    "noise_bands",
+    "regress_table",
+]
+
+REGRESS_SCHEMA_ID = "repro.regress/1"
+BENCH_SCHEMA_ID = "repro.bench/1"
+
+#: Relative slowdown floor: never flag less than a 10% delta, however
+#: quiet the baseline samples look.
+DEFAULT_MIN_REL = 0.10
+#: Band width in baseline noise units (coefficients of variation).
+DEFAULT_SIGMA = 4.0
+
+
+def load_bench(path: Path) -> dict:
+    """Read one ``BENCH_<rev>.json`` snapshot (raises ``ValueError``)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA_ID:
+        raise ValueError(
+            f"{path} is not a {BENCH_SCHEMA_ID} bench snapshot"
+        )
+    if not isinstance(payload.get("cases"), list):
+        raise ValueError(f"{path} carries no bench cases")
+    return payload
+
+
+def _case_map(payload: Mapping) -> Dict[str, Mapping]:
+    return {
+        str(case.get("name")): case
+        for case in payload.get("cases", ())
+        if isinstance(case, Mapping) and case.get("name")
+    }
+
+
+def _samples(case: Mapping) -> List[float]:
+    wall = case.get("wall_s", {})
+    samples = wall.get("all") if isinstance(wall, Mapping) else None
+    if isinstance(samples, list) and samples:
+        return [float(s) for s in samples]
+    best = wall.get("best") if isinstance(wall, Mapping) else None
+    return [float(best)] if isinstance(best, (int, float)) else []
+
+
+def noise_bands(
+    baselines: Sequence[Mapping],
+    min_rel: float = DEFAULT_MIN_REL,
+    sigma: float = DEFAULT_SIGMA,
+) -> Dict[str, Dict[str, object]]:
+    """Per-case noise bands fitted from pooled baseline samples.
+
+    Pooling every baseline snapshot's repeats gives the band more
+    degrees of freedom than any single best-of-N; one-sample histories
+    fall back to the ``min_rel`` floor (cv is 0).
+    """
+    bands: Dict[str, Dict[str, object]] = {}
+    for payload in baselines:
+        for name, case in _case_map(payload).items():
+            bucket = bands.setdefault(
+                name,
+                {"samples": [], "revs": [], "metrics": None},
+            )
+            bucket["samples"].extend(_samples(case))
+            rev = str(payload.get("rev", "unknown"))
+            if rev not in bucket["revs"]:
+                bucket["revs"].append(rev)
+            # The newest baseline's result surface is the drift anchor.
+            bucket["metrics"] = case.get("metrics")
+    for name, bucket in bands.items():
+        samples = bucket["samples"]
+        mean = sum(samples) / len(samples) if samples else 0.0
+        if len(samples) > 1 and mean > 0:
+            variance = sum((s - mean) ** 2 for s in samples) / (
+                len(samples) - 1
+            )
+            cv = math.sqrt(variance) / mean
+        else:
+            cv = 0.0
+        bucket["best"] = min(samples) if samples else None
+        bucket["mean"] = mean if samples else None
+        bucket["cv"] = cv
+        bucket["threshold"] = max(min_rel, sigma * cv)
+    return bands
+
+
+def _changed_result_keys(
+    baseline_metrics: Optional[Mapping],
+    current_metrics: Optional[Mapping],
+    rel_tol: float = 1e-9,
+) -> List[str]:
+    if not isinstance(baseline_metrics, Mapping) or not isinstance(
+        current_metrics, Mapping
+    ):
+        return []
+    changed = []
+    for key in sorted(set(baseline_metrics) | set(current_metrics)):
+        a, b = baseline_metrics.get(key), current_metrics.get(key)
+        if a is None or b is None:
+            changed.append(key)
+        elif not math.isclose(
+            float(a), float(b), rel_tol=rel_tol, abs_tol=rel_tol
+        ):
+            changed.append(key)
+    return changed
+
+
+def evaluate(
+    current: Mapping,
+    baselines: Sequence[Mapping],
+    min_rel: float = DEFAULT_MIN_REL,
+    sigma: float = DEFAULT_SIGMA,
+) -> dict:
+    """Classify one current bench snapshot against baseline history."""
+    if min_rel < 0:
+        raise ValueError("min_rel must be >= 0")
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    if not baselines:
+        raise ValueError("regress needs at least one baseline snapshot")
+    bands = noise_bands(baselines, min_rel=min_rel, sigma=sigma)
+    current_cases = _case_map(current)
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(bands) | set(current_cases)):
+        band = bands.get(name)
+        case = current_cases.get(name)
+        if band is None or band.get("best") is None:
+            rows.append({"name": name, "verdict": "NEW"})
+            continue
+        if case is None:
+            rows.append({"name": name, "verdict": "MISSING"})
+            continue
+        samples = _samples(case)
+        current_best = min(samples) if samples else None
+        baseline_best = float(band["best"])
+        threshold = float(band["threshold"])
+        if not current_best or baseline_best <= 0:
+            verdict = "NEW"
+            ratio = None
+        else:
+            ratio = current_best / baseline_best
+            if ratio > 1.0 + threshold:
+                verdict = "REGRESSED"
+            elif ratio < 1.0 / (1.0 + threshold):
+                verdict = "IMPROVED"
+            else:
+                verdict = "PASS"
+        rows.append(
+            {
+                "name": name,
+                "verdict": verdict,
+                "current_best_s": current_best,
+                "baseline_best_s": baseline_best,
+                "baseline_mean_s": band["mean"],
+                "baseline_samples": len(band["samples"]),
+                "baseline_revs": list(band["revs"]),
+                "cv": band["cv"],
+                "threshold": threshold,
+                "ratio": ratio,
+                "results_changed": _changed_result_keys(
+                    band.get("metrics"), case.get("metrics")
+                ),
+            }
+        )
+    regressed = [row["name"] for row in rows if row["verdict"] == "REGRESSED"]
+    return {
+        "schema": REGRESS_SCHEMA_ID,
+        "current_rev": str(current.get("rev", "unknown")),
+        "baseline_revs": sorted(
+            {str(p.get("rev", "unknown")) for p in baselines}
+        ),
+        "min_rel": min_rel,
+        "sigma": sigma,
+        "cases": rows,
+        "regressed": regressed,
+        "verdict": "REGRESSED" if regressed else "PASS",
+        "exit_code": 1 if regressed else 0,
+    }
+
+
+def regress_table(report: Mapping) -> str:
+    """Human-readable rendering of one :func:`evaluate` report."""
+    lines = [
+        f"regress: {report['current_rev']} vs "
+        f"{'+'.join(report['baseline_revs'])} "
+        f"(min_rel={report['min_rel']:.0%}, sigma={report['sigma']:g})"
+    ]
+    for row in report["cases"]:
+        verdict = row["verdict"]
+        if verdict in ("NEW", "MISSING"):
+            lines.append(f"  {verdict:9s} {row['name']}")
+            continue
+        ratio = row["ratio"]
+        lines.append(
+            f"  {verdict:9s} {row['name']}: "
+            f"{row['current_best_s']:.3f}s vs {row['baseline_best_s']:.3f}s "
+            f"({ratio:.2f}x, band +/-{row['threshold']:.0%}, "
+            f"{row['baseline_samples']} baseline samples)"
+        )
+        if row.get("results_changed"):
+            shown = ", ".join(row["results_changed"][:4])
+            more = len(row["results_changed"]) - 4
+            suffix = f" (+{more} more)" if more > 0 else ""
+            lines.append(f"            results changed: {shown}{suffix}")
+    lines.append(f"verdict: {report['verdict']}")
+    return "\n".join(lines)

@@ -244,7 +244,7 @@ class TestRunSweep:
         experiment = get_experiment("fig11_fence")
         params = {"dims": [2, 2, 2], "chip_cols": 6, "chip_rows": 6,
                   "max_hops": 0}
-        task = pickle.loads(pickle.dumps((experiment, params, None)))
+        task = pickle.loads(pickle.dumps((experiment, params, None, None)))
         result, elapsed, artifacts = _execute_task(task)
         assert result["num_nodes"] == 8
         assert elapsed > 0
@@ -796,6 +796,8 @@ class TestCacheMaintenance:
             "removed": 3,
             "kept": 2,
             "freed_bytes": outcome["freed_bytes"],
+            "artifacts_removed": 0,
+            "artifacts_freed_bytes": 0,
         }
         assert outcome["freed_bytes"] > 0
         for load in (0.1, 0.4, 0.8):

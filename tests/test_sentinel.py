@@ -1,0 +1,202 @@
+"""Tests for the regression sentinel (repro.runner.sentinel).
+
+Covers noise-band fitting from pooled baseline samples, the
+PASS/REGRESSED/IMPROVED/NEW/MISSING verdicts, the machine-readable exit
+code (an injected 2x slowdown must fail, a self-compare must pass),
+result-drift reporting, and the ``repro-runner regress`` CLI.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.runner.cli import main
+from repro.runner.sentinel import (
+    DEFAULT_MIN_REL,
+    evaluate,
+    load_bench,
+    noise_bands,
+    regress_table,
+)
+
+
+def make_bench(rev="aaa1111", cases=None):
+    if cases is None:
+        cases = {"case-a": [1.0, 1.05, 1.1], "case-b": [0.5, 0.5, 0.5]}
+    return {
+        "schema": "repro.bench/1",
+        "rev": rev,
+        "repeat": max(len(samples) for samples in cases.values()),
+        "cases": [
+            {
+                "name": name,
+                "experiment": "phase_loop",
+                "params": {},
+                "repeat": len(samples),
+                "wall_s": {
+                    "best": min(samples),
+                    "mean": sum(samples) / len(samples),
+                    "all": list(samples),
+                },
+                "metrics": {"work": 100.0},
+            }
+            for name, samples in sorted(cases.items())
+        ],
+    }
+
+
+class TestNoiseBands:
+    def test_quiet_case_gets_the_min_rel_floor(self):
+        bands = noise_bands([make_bench()])
+        assert bands["case-b"]["cv"] == 0.0
+        assert bands["case-b"]["threshold"] == DEFAULT_MIN_REL
+
+    def test_jittery_case_earns_a_wider_band(self):
+        bands = noise_bands(
+            [make_bench(cases={"noisy": [1.0, 1.3, 1.6]})])
+        assert bands["noisy"]["cv"] > 0.1
+        assert bands["noisy"]["threshold"] > DEFAULT_MIN_REL
+
+    def test_samples_pool_across_baselines(self):
+        bands = noise_bands(
+            [make_bench("aaa1111"), make_bench("bbb2222")])
+        assert len(bands["case-a"]["samples"]) == 6
+        assert bands["case-a"]["revs"] == ["aaa1111", "bbb2222"]
+
+    def test_single_sample_falls_back_to_best(self):
+        payload = make_bench(cases={"one": [2.0]})
+        del payload["cases"][0]["wall_s"]["all"]
+        bands = noise_bands([payload])
+        assert bands["one"]["best"] == 2.0
+        assert bands["one"]["threshold"] == DEFAULT_MIN_REL
+
+
+class TestEvaluate:
+    def test_self_compare_passes_with_exit_zero(self):
+        base = make_bench()
+        report = evaluate(base, [base])
+        assert report["verdict"] == "PASS"
+        assert report["exit_code"] == 0
+        assert all(row["verdict"] == "PASS" for row in report["cases"])
+        assert report["regressed"] == []
+
+    def test_injected_2x_slowdown_regresses_with_exit_one(self):
+        base = make_bench()
+        slow = make_bench(rev="bbb2222")
+        slow["cases"][0]["wall_s"] = {
+            "best": 2.0, "mean": 2.1, "all": [2.0, 2.1, 2.2]}
+        report = evaluate(slow, [base])
+        assert report["verdict"] == "REGRESSED"
+        assert report["exit_code"] == 1
+        assert report["regressed"] == ["case-a"]
+
+    def test_improvement_is_flagged_but_passes(self):
+        base = make_bench()
+        fast = copy.deepcopy(base)
+        fast["cases"][1]["wall_s"] = {"best": 0.2, "mean": 0.2, "all": [0.2]}
+        report = evaluate(fast, [base])
+        verdicts = {row["name"]: row["verdict"] for row in report["cases"]}
+        assert verdicts == {"case-a": "PASS", "case-b": "IMPROVED"}
+        assert report["exit_code"] == 0
+
+    def test_noise_band_absorbs_jitter_beyond_the_floor(self):
+        base = make_bench(cases={"noisy": [1.0, 1.4, 1.8]})
+        current = make_bench(rev="bbb2222", cases={"noisy": [1.2]})
+        report = evaluate(current, [base])
+        # 20% slower than baseline best, but the fitted band is wider
+        # than the 10% floor, so this is jitter, not a regression.
+        assert report["cases"][0]["threshold"] > 0.2
+        assert report["verdict"] == "PASS"
+
+    def test_new_and_missing_cases(self):
+        base = make_bench(cases={"old": [1.0]})
+        current = make_bench(rev="bbb2222", cases={"new": [1.0]})
+        report = evaluate(current, [base])
+        verdicts = {row["name"]: row["verdict"] for row in report["cases"]}
+        assert verdicts == {"new": "NEW", "old": "MISSING"}
+        assert report["exit_code"] == 0
+
+    def test_result_drift_rides_along(self):
+        base = make_bench()
+        drifted = copy.deepcopy(base)
+        drifted["cases"][0]["metrics"] = {"work": 120.0}
+        report = evaluate(drifted, [base])
+        row = {r["name"]: r for r in report["cases"]}["case-a"]
+        assert row["verdict"] == "PASS"  # drift is informational
+        assert row["results_changed"] == ["work"]
+        assert "results changed: work" in regress_table(report)
+
+    def test_rejects_empty_baselines_and_bad_knobs(self):
+        base = make_bench()
+        with pytest.raises(ValueError, match="at least one baseline"):
+            evaluate(base, [])
+        with pytest.raises(ValueError, match="min_rel"):
+            evaluate(base, [base], min_rel=-0.1)
+        with pytest.raises(ValueError, match="sigma"):
+            evaluate(base, [base], sigma=-1.0)
+
+    def test_table_renders_every_verdict(self):
+        base = make_bench()
+        slow = make_bench(rev="bbb2222")
+        slow["cases"][0]["wall_s"] = {"best": 2.0, "mean": 2.0, "all": [2.0]}
+        text = regress_table(evaluate(slow, [base]))
+        assert "REGRESSED case-a" in text
+        assert "2.00x" in text
+        assert text.endswith("verdict: REGRESSED")
+
+
+class TestLoadBench:
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "nope/1", "cases": []}))
+        with pytest.raises(ValueError, match="bench snapshot"):
+            load_bench(path)
+
+    def test_rejects_missing_cases(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "repro.bench/1"}))
+        with pytest.raises(ValueError, match="no bench cases"):
+            load_bench(path)
+
+
+class TestRegressCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_bench())
+        rc = main(["regress", "--against", base, "--current", base])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+    def test_injected_slowdown_exits_one(self, tmp_path, capsys):
+        base = make_bench()
+        slow = make_bench(rev="bbb2222")
+        slow["cases"][0]["wall_s"] = {"best": 2.0, "mean": 2.0, "all": [2.0]}
+        rc = main([
+            "regress",
+            "--against", self.write(tmp_path, "base.json", base),
+            "--current", self.write(tmp_path, "slow.json", slow),
+        ])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_json_report_and_pooled_baselines(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", make_bench("aaa1111"))
+        b = self.write(tmp_path, "b.json", make_bench("bbb2222"))
+        rc = main(["regress", "--against", a, "--against", b,
+                   "--current", a, "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.regress/1"
+        assert report["baseline_revs"] == ["aaa1111", "bbb2222"]
+        assert report["cases"][0]["baseline_samples"] == 6
+
+    def test_missing_baseline_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["regress", "--against", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
