@@ -46,6 +46,46 @@ def test_disabled_mode_builds_no_instrumentation():
                 assert link.monitor is None
 
 
+def test_disabled_mode_never_computes_blocked_vcs(monkeypatch):
+    """The stall-attribution tap is free when no monitor is attached.
+
+    ``Link._blocked_vcs`` (which VCs a stall actually blocked) is only
+    computed to feed ``LinkMonitor.on_stall``; an unobserved run must
+    never reach it — the hot path pays one ``is not None`` check.
+    """
+    from repro.netsim import fabric
+
+    def boom(self):
+        raise AssertionError("_blocked_vcs must not run without a monitor")
+
+    monkeypatch.setattr(fabric.Link, "_blocked_vcs", boom)
+    experiment = get_experiment("phase_loop")
+    result = experiment.run(PHASE_PARAMS)
+    assert result["mean_iteration_ns"] > 0
+
+
+def test_stall_attribution_taps_record_consistently():
+    """The forensics taps (per-VC stalls, endpoints, topology) are live
+    under observation and internally consistent: per-VC stall counters
+    sum to the aggregate per-link counter the pre-forensics schema
+    already carried, and every monitored link has an endpoint row."""
+    from repro.observe import context as observe_context
+
+    experiment = get_experiment("phase_loop")
+    with observe_context.observing(ObserveConfig(metrics=True)):
+        experiment.run(PHASE_PARAMS)
+        payload = observe_context.collect()["metrics"][0]
+    counters = payload["stats"]["counters"]
+    links = payload["links"]
+    assert links and len(payload["topology"]["dims"]) == 3
+    for name, endpoints in links.items():
+        assert {"src", "dst", "axis", "sign", "slice"} <= set(endpoints)
+        per_vc = sum(count for key, count in counters.items()
+                     if key.startswith(f"link/{name}/vc")
+                     and key.endswith("/stalls"))
+        assert per_vc == counters.get(f"link/{name}/stalls", 0)
+
+
 def test_disabled_run_wall_clock(benchmark):
     """Pins the unobserved phase-loop wall clock for cross-rev diffing."""
     experiment = get_experiment("phase_loop")

@@ -1,0 +1,605 @@
+"""Congestion forensics: automated root-cause diagnosis of observed runs.
+
+The paper's central evidence is explanatory — per-hop latency
+breakdowns (Fig 6) and activity/traffic attribution (Figs 9/12) that
+say *why* the network behaves as it does.  This module turns the raw
+observability artifacts of :mod:`repro.observe` into that kind of
+answer, fully post hoc (pure arithmetic over the metrics/trace JSON, no
+re-simulation), surfaced as ``repro-runner diagnose <digest>``:
+
+* **Per-hop latency decomposition** — every traced packet's lifecycle
+  spans are folded into queue wait / serialization / propagation /
+  router (on-chip) / injection / ejection components, aggregated by hop
+  count, and the components sum to the measured end-to-end latency
+  exactly (the router component is defined as the remainder the channel
+  spans cannot account for: on-chip mesh traversal and pipeline delays).
+* **Backpressure attribution** — links are classified as saturated from
+  their busy-fraction/occupancy series, and every credit stall is
+  attributed to the *downstream* node that withheld the credits (a stall
+  on ``A->B`` means B's input queue for that VC was full).  Nodes are
+  ranked by attributed inflow stalls — the hotspot ejectors — and a
+  saturation tree is grown upstream from each, showing the congestion
+  wave the root cause launched.
+* **Fence critical path** — per-fence straggler node (the completion
+  that gated the barrier) plus the congested links incident to it.
+* **Topology heatmaps** — per-node stall/occupancy intensity arranged
+  by torus coordinate plane, rendered as ASCII in the report and stored
+  as plain value arrays in the artifact.
+
+Everything here is deterministic: fixed thresholds, stable sort keys,
+and canonical-JSON output, so diagnosis artifacts are byte-identical
+across ``--jobs`` splits (their inputs already are).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..observe.schema import DIAGNOSIS_SCHEMA_ID
+
+__all__ = [
+    "BUSY_THRESHOLD",
+    "OCCUPANCY_THRESHOLD",
+    "backpressure_attribution",
+    "compare_diagnoses",
+    "diagnose_run",
+    "fence_critical_paths",
+    "hop_latency_decomposition",
+    "link_summaries",
+    "render_comparison",
+    "render_diagnosis",
+    "topology_heatmaps",
+]
+
+#: A link is saturated when its serialization resource is busy at least
+#: this fraction of the observation window ...
+BUSY_THRESHOLD = 0.5
+#: ... or its send queues hold at least this many flits on average
+#: (credit stalls back packets up at the sender, not the wire).
+OCCUPANCY_THRESHOLD = 2.0
+
+#: Tree growth bounds: stall trees are explanatory, not exhaustive.
+_TREE_DEPTH = 3
+_TREE_ROOTS = 3
+_ROUTE_LINKS = 8
+
+#: Heatmap intensity ramp, low to high.
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Per-hop latency decomposition (trace layer).
+# ----------------------------------------------------------------------
+
+def hop_latency_decomposition(trace: Mapping) -> Optional[Dict[str, object]]:
+    """Fold one machine's trace spans into per-hop-class components.
+
+    Returns ``None`` when the payload has no spans to decompose.  Each
+    hop class row reports mean component latencies whose sum equals the
+    mean measured end-to-end latency: ``router`` is defined as the
+    remainder after the instrumented channel spans (queue, serialization,
+    propagation) and the endpoint overheads (inject, eject), i.e. the
+    on-chip mesh traversal the channel monitors cannot see.
+    """
+    spans = trace.get("spans") or []
+    if not spans:
+        return None
+    packets: Dict[Tuple[int, int], Dict[str, object]] = {}
+    for span in spans:
+        trace_id = tuple(span["trace_id"])
+        record = packets.setdefault(trace_id, {
+            "inject_start": None, "inject_ns": 0.0, "queue_ns": 0.0,
+            "ser_ns": 0.0, "prop_ns": 0.0, "eject_ns": 0.0,
+            "deliver_ns": None, "hops": None,
+        })
+        kind = span["kind"]
+        start, end = span["start_ns"], span["end_ns"]
+        duration = end - start
+        args = span.get("args", {})
+        if kind == "inject":
+            record["inject_start"] = start
+            record["inject_ns"] = duration
+        elif kind == "queue":
+            record["queue_ns"] += duration
+        elif kind == "transmit":
+            # ser_ns rides in the span args (serialization vs wire
+            # propagation split); pre-forensics traces lack it — count
+            # the whole span as serialization then.
+            ser = args.get("ser_ns", duration)
+            record["ser_ns"] += ser
+            record["prop_ns"] += duration - ser
+        elif kind == "eject":
+            record["eject_ns"] += duration
+        elif kind == "deliver":
+            record["deliver_ns"] = end
+            record["hops"] = args.get("hops")
+    classes: Dict[int, List[Dict[str, float]]] = {}
+    incomplete = 0
+    for record in packets.values():
+        if record["inject_start"] is None or record["deliver_ns"] is None:
+            incomplete += 1  # still in flight at end of run
+            continue
+        end_to_end = record["deliver_ns"] - record["inject_start"]
+        accounted = (record["inject_ns"] + record["queue_ns"]
+                     + record["ser_ns"] + record["prop_ns"]
+                     + record["eject_ns"])
+        hops = record["hops"] if record["hops"] is not None else 0
+        classes.setdefault(int(hops), []).append({
+            "inject": record["inject_ns"],
+            "queue": record["queue_ns"],
+            "serialization": record["ser_ns"],
+            "propagation": record["prop_ns"],
+            "eject": record["eject_ns"],
+            "router": end_to_end - accounted,
+            "end_to_end": end_to_end,
+        })
+    rows = []
+    for hops in sorted(classes):
+        members = classes[hops]
+        mean_ns = {
+            component: _mean([m[component] for m in members])
+            for component in ("inject", "queue", "serialization",
+                              "propagation", "router", "eject")
+        }
+        rows.append({
+            "hops": hops,
+            "packets": len(members),
+            "mean_ns": mean_ns,
+            # The measured mean, not the component sum — the schema
+            # validator asserts the two agree within rounding.
+            "end_to_end_ns": _mean([m["end_to_end"] for m in members]),
+        })
+    if not rows:
+        return None
+    return {
+        "packets": sum(row["packets"] for row in rows),
+        "in_flight": incomplete,
+        "classes": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Backpressure attribution (metrics layer).
+# ----------------------------------------------------------------------
+
+def link_summaries(metrics: Mapping) -> List[Dict[str, object]]:
+    """Per-link rollups of the sliced series: busy, occupancy, stalls.
+
+    Covers every monitored link (the ``links`` endpoint table); rows are
+    sorted by name for deterministic downstream output.
+    """
+    gauges = metrics.get("gauges", {})
+    counters = metrics.get("stats", {}).get("counters", {})
+    links = metrics.get("links", {})
+    rows = []
+    for name in sorted(links):
+        endpoints = links[name]
+        busy = _mean(gauges.get(f"link/{name}/busy", []))
+        vc_occupancy = {}
+        vc_stalls = {}
+        vc = 0
+        while f"link/{name}/vc{vc}/occupancy" in gauges:
+            occupancy = _mean(gauges[f"link/{name}/vc{vc}/occupancy"])
+            if occupancy:
+                vc_occupancy[str(vc)] = occupancy
+            stalls = counters.get(f"link/{name}/vc{vc}/stalls", 0)
+            if stalls:
+                vc_stalls[str(vc)] = stalls
+            vc += 1
+        occupancy = sum(vc_occupancy.values())
+        stalls = counters.get(f"link/{name}/stalls", 0)
+        rows.append({
+            "link": name,
+            "src": endpoints["src"],
+            "dst": endpoints["dst"],
+            "busy_fraction": busy,
+            "occupancy": occupancy,
+            "vc_occupancy": vc_occupancy,
+            "stalls": stalls,
+            "vc_stalls": vc_stalls,
+            "saturated": bool(busy >= BUSY_THRESHOLD
+                              or occupancy >= OCCUPANCY_THRESHOLD),
+        })
+    return rows
+
+
+def backpressure_attribution(metrics: Mapping) -> Dict[str, object]:
+    """Saturated links, ranked downstream root causes, saturation trees.
+
+    The attribution model: a credit stall on link ``A->B`` means the
+    downstream router B withheld credits (its input queue for that VC
+    was full), so every stall charges node B.  Nodes ranked by charged
+    inflow stalls are the congestion roots — under hotspot traffic,
+    the hotspot ejector.  From each top root a tree is grown upstream
+    through stalled links, showing how the pressure wave propagates.
+    """
+    rows = link_summaries(metrics)
+    saturated = [row for row in rows if row["saturated"] or row["stalls"]]
+    by_dst: Dict[int, List[Dict[str, object]]] = {}
+    for row in rows:
+        if row["stalls"] or row["saturated"]:
+            by_dst.setdefault(row["dst"], []).append(row)
+    causes = []
+    for node, incident in sorted(by_dst.items()):
+        inflow = sum(row["stalls"] for row in incident)
+        saturated_in = sorted(
+            row["link"] for row in incident if row["saturated"])
+        causes.append({
+            "node": node,
+            "inflow_stalls": inflow,
+            "saturated_in": saturated_in,
+            # Saturated inflow without stalls still indicates pressure;
+            # weight stalls first, saturation as tie-break mass.
+            "score": float(inflow) + 0.5 * len(saturated_in),
+        })
+    causes.sort(key=lambda row: (-row["score"], row["node"]))
+    trees = [
+        _saturation_tree(cause["node"], by_dst)
+        for cause in causes[:_TREE_ROOTS]
+    ]
+    return {
+        "thresholds": {
+            "busy_fraction": BUSY_THRESHOLD,
+            "occupancy_flits": OCCUPANCY_THRESHOLD,
+        },
+        "total_stalls": sum(row["stalls"] for row in rows),
+        "saturated": [
+            {key: row[key] for key in (
+                "link", "src", "dst", "busy_fraction", "occupancy",
+                "stalls", "vc_stalls")}
+            for row in sorted(saturated,
+                              key=lambda r: (-r["stalls"], r["link"]))
+        ],
+        "root_causes": causes,
+        "trees": trees,
+    }
+
+
+def _saturation_tree(root: int,
+                     by_dst: Mapping[int, List[Dict[str, object]]]
+                     ) -> Dict[str, object]:
+    """Grow one congestion tree upstream from a root-cause node.
+
+    Breadth-first through stalled/saturated links ending at the frontier
+    nodes; every link appears at most once, so cyclic backpressure (a
+    congested ring feeding itself) terminates.
+    """
+    edges = []
+    seen_links = set()
+    frontier = [root]
+    for depth in range(1, _TREE_DEPTH + 1):
+        next_frontier = []
+        for node in frontier:
+            incident = sorted(by_dst.get(node, []),
+                              key=lambda r: (-r["stalls"], r["link"]))
+            for row in incident:
+                if row["link"] in seen_links:
+                    continue
+                seen_links.add(row["link"])
+                edges.append({
+                    "link": row["link"],
+                    "src": row["src"],
+                    "dst": row["dst"],
+                    "stalls": row["stalls"],
+                    "vc_stalls": row["vc_stalls"],
+                    "depth": depth,
+                })
+                next_frontier.append(row["src"])
+        frontier = next_frontier
+        if not frontier:
+            break
+    return {"root": root, "edges": edges}
+
+
+# ----------------------------------------------------------------------
+# Fence critical path (metrics layer).
+# ----------------------------------------------------------------------
+
+def fence_critical_paths(metrics: Mapping) -> Dict[str, object]:
+    """Per-fence straggler plus the congested links on its route.
+
+    The straggler is the node whose completion gated the barrier; the
+    links reported are the stalled/saturated links incident to it (the
+    local congestion that plausibly delayed its traffic).
+    """
+    fences = metrics.get("fences") or []
+    rows = link_summaries(metrics)
+    paths = []
+    for fence in fences:
+        straggler = fence["straggler"]
+        congested = sorted(
+            (row for row in rows
+             if (row["stalls"] or row["saturated"])
+             and straggler in (row["src"], row["dst"])),
+            key=lambda r: (-r["stalls"], r["link"]))
+        paths.append({
+            "fence_id": fence["fence_id"],
+            "straggler": straggler,
+            "wait_ns": fence["last_ns"] - fence["start_ns"],
+            "spread_ns": fence["last_ns"] - fence["first_ns"],
+            "completions": fence["completions"],
+            "congested_links": [row["link"]
+                                for row in congested[:_ROUTE_LINKS]],
+        })
+    return {"count": len(paths), "critical_paths": paths}
+
+
+# ----------------------------------------------------------------------
+# Topology heatmaps (metrics layer).
+# ----------------------------------------------------------------------
+
+def topology_heatmaps(metrics: Mapping) -> List[Dict[str, object]]:
+    """Per-node intensity arrays for the stall and occupancy heatmaps.
+
+    Stalls charge the *downstream* node (the attribution model);
+    occupancy charges the *source* node (the flits are queued at the
+    sender).  Values are plain per-node-id arrays so the artifact stays
+    canonical JSON; :func:`render_heatmap` draws them.
+    """
+    topology = metrics.get("topology")
+    if not topology:
+        return []
+    dims = topology["dims"]
+    count = dims[0] * dims[1] * dims[2]
+    stalls = [0.0] * count
+    occupancy = [0.0] * count
+    for row in link_summaries(metrics):
+        if 0 <= row["dst"] < count:
+            stalls[row["dst"]] += row["stalls"]
+        if 0 <= row["src"] < count:
+            occupancy[row["src"]] += row["occupancy"]
+    return [
+        {"metric": "stalls", "dims": list(dims), "values": stalls},
+        {"metric": "occupancy", "dims": list(dims),
+         "values": [round(value, 6) for value in occupancy]},
+    ]
+
+
+def render_heatmap(heatmap: Mapping) -> str:
+    """ASCII heatmap, one grid per torus Z plane (x across, y down)."""
+    dims = heatmap["dims"]
+    values = heatmap["values"]
+    peak = max(values) if values else 0.0
+    lines = [f"{heatmap['metric']} by torus coordinate "
+             f"(x across, y down; peak {peak:g})"]
+    ramp = len(_HEAT_CHARS) - 1
+    for z in range(dims[2]):
+        lines.append(f"  z={z}")
+        for y in range(dims[1]):
+            row = []
+            for x in range(dims[0]):
+                node = (x * dims[1] + y) * dims[2] + z
+                value = values[node]
+                level = (0 if peak <= 0
+                         else max(1, round(ramp * value / peak))
+                         if value > 0 else 0)
+                row.append(_HEAT_CHARS[level])
+            lines.append("    " + " ".join(row))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Whole-run diagnosis and comparison.
+# ----------------------------------------------------------------------
+
+def diagnose_run(metrics_artifact: Mapping,
+                 trace_artifact: Optional[Mapping] = None) -> List[dict]:
+    """Diagnose every machine of one observed run.
+
+    Takes the loaded ``<digest>.metrics.json`` artifact (and optionally
+    the matching trace artifact) and returns the per-machine diagnosis
+    payloads — the ``machines`` list of the diagnosis artifact.
+    """
+    metrics_machines = metrics_artifact.get("machines") or []
+    trace_machines = (trace_artifact.get("machines")
+                      if trace_artifact else None) or []
+    payloads = []
+    for index, metrics in enumerate(metrics_machines):
+        trace = trace_machines[index] if index < len(trace_machines) else None
+        payloads.append({
+            "schema": DIAGNOSIS_SCHEMA_ID,
+            "end_ns": metrics.get("end_ns", 0.0),
+            "latency": (hop_latency_decomposition(trace)
+                        if trace is not None else None),
+            "backpressure": backpressure_attribution(metrics),
+            "fences": fence_critical_paths(metrics),
+            "heatmaps": topology_heatmaps(metrics),
+        })
+    return payloads
+
+
+def render_diagnosis(digest: str, machines: Sequence[Mapping]) -> str:
+    """The human-readable diagnosis report for one run."""
+    from .report import format_table
+
+    lines = [f"diagnosis for {digest[:16]}"]
+    for index, machine in enumerate(machines):
+        if len(machines) > 1:
+            lines.append(f"-- machine {index} --")
+        latency = machine.get("latency")
+        lines.append("")
+        lines.append("== per-hop latency decomposition ==")
+        if latency:
+            headers = ("hops", "packets", "end-to-end", "inject", "queue",
+                       "serialize", "propagate", "router", "eject")
+            rows = []
+            for row in latency["classes"]:
+                mean = row["mean_ns"]
+                rows.append([
+                    row["hops"], row["packets"],
+                    f"{row['end_to_end_ns']:.1f}",
+                    f"{mean['inject']:.1f}", f"{mean['queue']:.1f}",
+                    f"{mean['serialization']:.1f}",
+                    f"{mean['propagation']:.1f}",
+                    f"{mean['router']:.1f}", f"{mean['eject']:.1f}",
+                ])
+            lines.append(format_table(headers, rows))
+            lines.append(f"({latency['packets']} delivered traced packets, "
+                         f"{latency['in_flight']} still in flight; ns)")
+        else:
+            lines.append("(no trace layer: rerun with --trace to decompose)")
+        backpressure = machine["backpressure"]
+        thresholds = backpressure["thresholds"]
+        lines.append("")
+        lines.append("== backpressure attribution ==")
+        lines.append(f"total credit stalls: {backpressure['total_stalls']}; "
+                     f"saturated = busy >= {thresholds['busy_fraction']:g} "
+                     f"or queued flits >= "
+                     f"{thresholds['occupancy_flits']:g}")
+        saturated = backpressure["saturated"]
+        if saturated:
+            rows = [[row["link"], f"{row['busy_fraction']:.2f}",
+                     f"{row['occupancy']:.2f}", row["stalls"],
+                     _format_vc_stalls(row["vc_stalls"]), f"n{row['dst']}"]
+                    for row in saturated[:12]]
+            lines.append(format_table(
+                ("link", "busy", "occ", "stalls", "per-vc", "downstream"),
+                rows))
+            if len(saturated) > 12:
+                lines.append(f"(+{len(saturated) - 12} more)")
+        else:
+            lines.append("no saturated or stalled links")
+        causes = backpressure["root_causes"]
+        if causes:
+            lines.append("root causes (stalls attributed downstream):")
+            for rank, cause in enumerate(causes[:_TREE_ROOTS], start=1):
+                lines.append(
+                    f"  #{rank} node n{cause['node']}: "
+                    f"{cause['inflow_stalls']} inflow stalls, "
+                    f"{len(cause['saturated_in'])} saturated in-links")
+            for tree in backpressure["trees"]:
+                if not tree["edges"]:
+                    continue
+                lines.append(f"saturation tree rooted at n{tree['root']}:")
+                for edge in tree["edges"]:
+                    indent = "  " * edge["depth"]
+                    vc = _format_vc_stalls(edge["vc_stalls"])
+                    vc_text = f" [{vc}]" if vc else ""
+                    lines.append(
+                        f"{indent}n{edge['dst']} <- {edge['link']} "
+                        f"({edge['stalls']} stalls{vc_text})")
+        fences = machine["fences"]
+        lines.append("")
+        lines.append("== fence critical path ==")
+        if fences["critical_paths"]:
+            for path in fences["critical_paths"]:
+                congested = (", ".join(path["congested_links"])
+                             or "none congested")
+                lines.append(
+                    f"fence {path['fence_id']}: straggler "
+                    f"n{path['straggler']}, wait {path['wait_ns']:.1f} ns "
+                    f"(spread {path['spread_ns']:.1f} ns over "
+                    f"{path['completions']} completions); "
+                    f"links at straggler: {congested}")
+        else:
+            lines.append("(no fences observed)")
+        lines.append("")
+        lines.append("== topology heatmaps ==")
+        heatmaps = machine["heatmaps"]
+        if heatmaps:
+            for heatmap in heatmaps:
+                lines.append(render_heatmap(heatmap))
+        else:
+            lines.append("(no topology section in the metrics artifact)")
+    return "\n".join(lines) + "\n"
+
+
+def _format_vc_stalls(vc_stalls: Mapping[str, int]) -> str:
+    return " ".join(f"vc{vc}:{count}"
+                    for vc, count in sorted(vc_stalls.items(),
+                                            key=lambda kv: int(kv[0])))
+
+
+def compare_diagnoses(a: Mapping, b: Mapping) -> Dict[str, object]:
+    """Structured diff of two diagnosis artifacts (policy-ablation view).
+
+    Compares machine 0 of each run: total stalls, saturated-link sets,
+    top root causes, and the per-hop-class end-to-end latencies — the
+    questions a routing ablation asks ("why does adaptive-escape beat
+    fixed-xyz under tornado").
+    """
+    machine_a = (a.get("machines") or [{}])[0]
+    machine_b = (b.get("machines") or [{}])[0]
+    bp_a = machine_a.get("backpressure", {})
+    bp_b = machine_b.get("backpressure", {})
+    sat_a = {row["link"] for row in bp_a.get("saturated", [])}
+    sat_b = {row["link"] for row in bp_b.get("saturated", [])}
+    latency = []
+    classes_a = {row["hops"]: row
+                 for row in (machine_a.get("latency") or {}).get("classes", [])}
+    classes_b = {row["hops"]: row
+                 for row in (machine_b.get("latency") or {}).get("classes", [])}
+    for hops in sorted(set(classes_a) | set(classes_b)):
+        row_a, row_b = classes_a.get(hops), classes_b.get(hops)
+        latency.append({
+            "hops": hops,
+            "a_ns": row_a["end_to_end_ns"] if row_a else None,
+            "b_ns": row_b["end_to_end_ns"] if row_b else None,
+            "queue_a_ns": row_a["mean_ns"]["queue"] if row_a else None,
+            "queue_b_ns": row_b["mean_ns"]["queue"] if row_b else None,
+        })
+    return {
+        "a": a.get("digest"),
+        "b": b.get("digest"),
+        "stalls": {"a": bp_a.get("total_stalls", 0),
+                   "b": bp_b.get("total_stalls", 0)},
+        "saturated": {
+            "common": sorted(sat_a & sat_b),
+            "only_a": sorted(sat_a - sat_b),
+            "only_b": sorted(sat_b - sat_a),
+        },
+        "root_causes": {
+            "a": [c["node"] for c in bp_a.get("root_causes", [])[:3]],
+            "b": [c["node"] for c in bp_b.get("root_causes", [])[:3]],
+        },
+        "latency": latency,
+    }
+
+
+def render_comparison(diff: Mapping) -> str:
+    """The human-readable report of a ``diagnose --compare`` diff."""
+    from .report import format_table
+
+    a = (diff.get("a") or "a")[:16]
+    b = (diff.get("b") or "b")[:16]
+    stalls = diff["stalls"]
+    saturated = diff["saturated"]
+    lines = [
+        f"comparing {a} (A) vs {b} (B)",
+        f"credit stalls: A={stalls['a']} B={stalls['b']} "
+        f"(delta {stalls['b'] - stalls['a']:+d})",
+        f"saturated links: {len(saturated['common'])} shared, "
+        f"{len(saturated['only_a'])} only in A, "
+        f"{len(saturated['only_b'])} only in B",
+    ]
+    for label, names in (("only in A", saturated["only_a"]),
+                         ("only in B", saturated["only_b"])):
+        for name in names[:6]:
+            lines.append(f"  {label}: {name}")
+        if len(names) > 6:
+            lines.append(f"  {label}: (+{len(names) - 6} more)")
+    causes = diff["root_causes"]
+    lines.append(
+        "top root causes: "
+        f"A={' '.join(f'n{n}' for n in causes['a']) or '-'}  "
+        f"B={' '.join(f'n{n}' for n in causes['b']) or '-'}")
+    if diff["latency"]:
+        rows = []
+        for row in diff["latency"]:
+            rows.append([
+                row["hops"],
+                "-" if row["a_ns"] is None else f"{row['a_ns']:.1f}",
+                "-" if row["b_ns"] is None else f"{row['b_ns']:.1f}",
+                "-" if row["queue_a_ns"] is None
+                else f"{row['queue_a_ns']:.1f}",
+                "-" if row["queue_b_ns"] is None
+                else f"{row['queue_b_ns']:.1f}",
+            ])
+        lines.append(format_table(
+            ("hops", "A end-to-end", "B end-to-end", "A queue", "B queue"),
+            rows))
+    return "\n".join(lines) + "\n"

@@ -113,6 +113,23 @@ class Link:
                 count += 1
         return count
 
+    def _blocked_vcs(self) -> List[int]:
+        """VCs with queued packets that cannot dispatch (monitor bookkeeping).
+
+        A VC is blocked when its head packet lacks downstream credits (or
+        the VC is dead) — the per-VC detail the stall-attribution tap
+        records.  Only computed when a monitor is attached, so unobserved
+        dispatch never pays for it.
+        """
+        blocked = []
+        for vc in range(self.vcs):
+            queue = self._queues[vc]
+            if not queue:
+                continue
+            if vc in self._dead_vcs or self._credits[vc] < queue[0].packet.num_flits:
+                blocked.append(vc)
+        return blocked
+
     def _dispatch(self) -> None:
         if self.failed:
             # A dead channel holds its queued sends indefinitely (no
@@ -126,7 +143,7 @@ class Link:
             if vc is None:
                 # Every queued VC is blocked on credits (or empty).
                 if monitor is not None and self.queued:
-                    monitor.on_stall(now)
+                    monitor.on_stall(now, self._blocked_vcs())
                 return
             if self._busy_until > now:
                 # Channel busy: retry when it frees.

@@ -29,11 +29,18 @@ __all__ = [
     "list_artifacts",
     "load_artifact",
     "observe_dir",
+    "write_artifact",
     "write_run_artifacts",
 ]
 
-#: The artifact layers a run can produce, in file-naming order.
-LAYERS = ("metrics", "trace")
+#: The artifact layers a run can produce, in file-naming order.  A run
+#: records ``metrics``/``trace``; ``diagnosis`` is derived from them
+#: post hoc by ``repro-runner diagnose`` (repro.analysis.forensics) and
+#: stored beside them under the same digest.
+LAYERS = ("metrics", "trace", "diagnosis")
+
+#: The layers an observed run itself collects (``diagnosis`` is derived).
+RUN_LAYERS = ("metrics", "trace")
 
 
 def _canonical_dump(payload: object) -> str:
@@ -62,26 +69,37 @@ def write_run_artifacts(directory: Path, digest: str,
     (tmp + rename) like cache entries, so a crashed run never leaves a
     half-written artifact for the determinism tests to trip over.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
-    for layer in LAYERS:
+    for layer in RUN_LAYERS:
         machines = artifacts.get(layer)
         if not machines:
             continue
-        payload = {"digest": digest, "layer": layer, "machines": machines}
-        path = artifact_path(directory, digest, layer)
-        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(_canonical_dump(payload))
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
-        written.append(path)
+        written.append(write_artifact(directory, digest, layer, machines))
     return written
+
+
+def write_artifact(directory: Path, digest: str, layer: str,
+                   machines: list) -> Path:
+    """Write one artifact layer canonically and atomically; returns its path.
+
+    The single-layer primitive behind :func:`write_run_artifacts`, also
+    used by ``repro-runner diagnose`` to store derived diagnosis
+    artifacts: canonical JSON in, so equal payloads are byte-equal files.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"digest": digest, "layer": layer, "machines": machines}
+    path = artifact_path(directory, digest, layer)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(_canonical_dump(payload))
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
 
 
 def load_artifact(path: Path) -> Dict[str, object]:

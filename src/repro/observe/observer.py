@@ -36,24 +36,34 @@ LATENCY_HIST_NS = (0.0, 16384.0, 256)
 
 
 class LinkMonitor:
-    """Per-link instrumentation attached to one channel :class:`Link`."""
+    """Per-link instrumentation attached to one channel :class:`Link`.
+
+    ``endpoints`` carries the link's torus identity — source/downstream
+    node ids, direction, and channel slice — so credit stalls can be
+    attributed to the *downstream* router that withheld credits (the
+    input the forensics layer's saturation trees are built from).
+    """
 
     __slots__ = (
         "link",
         "tracer",
+        "endpoints",
         "occupancy",
         "busy",
         "stall_counter",
         "stall_slices",
+        "vc_stall_counters",
         "conflict_counter",
         "conflict_slices",
         "_pending_queue",
     )
 
     def __init__(self, link, hub: Optional[MetricsHub],
-                 tracer: Optional[PacketTracer]) -> None:
+                 tracer: Optional[PacketTracer],
+                 endpoints: Optional[Dict[str, int]] = None) -> None:
         self.link = link
         self.tracer = tracer
+        self.endpoints = endpoints
         if hub is not None:
             # Eager creation: the occupancy series must cover every link
             # and VC, including ones no packet ever touches.
@@ -64,6 +74,13 @@ class LinkMonitor:
             self.busy = hub.slice_gauge(f"link/{link.name}/busy")
             self.stall_counter = hub.counter(f"link/{link.name}/stalls")
             self.stall_slices = hub.slice_counter("link/credit_stalls")
+            # Per-VC stall attribution: which VC's head packet was denied
+            # downstream credits.  Eager like occupancy so the series
+            # covers every VC, stalled or not.
+            self.vc_stall_counters = [
+                hub.counter(f"link/{link.name}/vc{vc}/stalls")
+                for vc in range(link.vcs)
+            ]
             self.conflict_counter = hub.counter(
                 f"link/{link.name}/arbitration_conflicts")
             self.conflict_slices = hub.slice_counter(
@@ -73,6 +90,7 @@ class LinkMonitor:
             self.busy = None
             self.stall_counter = None
             self.stall_slices = None
+            self.vc_stall_counters = None
             self.conflict_counter = None
             self.conflict_slices = None
         self._pending_queue: Dict[Tuple[int, int], float] = {}
@@ -84,11 +102,17 @@ class LinkMonitor:
         if self.tracer is not None and packet.trace_id is not None:
             self._pending_queue[packet.trace_id] = now
 
-    def on_stall(self, now: float) -> None:
-        """Dispatch found queued packets but no VC with credits."""
+    def on_stall(self, now: float, blocked_vcs: Tuple[int, ...] = ()) -> None:
+        """Dispatch found queued packets but no VC with credits.
+
+        ``blocked_vcs`` lists the VCs whose head packet was denied —
+        each one a credit withheld by the downstream router on that VC.
+        """
         if self.stall_counter is not None:
             self.stall_counter.add()
             self.stall_slices.add(now)
+            for vc in blocked_vcs:
+                self.vc_stall_counters[vc].add()
 
     def on_transmit(self, start: float, packet, vc: int, busy_until: float,
                     arrival: float, conflicts: int) -> None:
@@ -105,8 +129,12 @@ class LinkMonitor:
             if enqueued is not None:
                 self.tracer.span(packet.trace_id, "queue", enqueued, start,
                                  link=self.link.name, vc=vc)
+            # ser_ns is the serialization share of the span; the rest
+            # (arrival - busy_until) is wire propagation — the split the
+            # forensics per-hop decomposition reads back out.
             self.tracer.span(packet.trace_id, "transmit", start, arrival,
-                             link=self.link.name, vc=vc)
+                             link=self.link.name, vc=vc,
+                             ser_ns=busy_until - start)
 
 
 class Observer:
@@ -124,6 +152,9 @@ class Observer:
         self.monitors: List[LinkMonitor] = []
         self._in_flight = 0
         self._fence_starts: Dict[int, float] = {}
+        # Per-fence completion bookkeeping for the forensics critical
+        # path: first/last completion time and the straggler node.
+        self._fence_records: Dict[int, Dict[str, object]] = {}
         if self.hub is not None:
             self._inflight_gauge = self.hub.slice_gauge("machine/in_flight")
             self._inject_slices = self.hub.slice_counter("machine/injections")
@@ -150,11 +181,21 @@ class Observer:
             chip._obs_seq = 0
             if self.hub is not None:
                 chip._route_events = self.on_route_event
-        for chip in self.machine.chips.values():
-            for ca in chip.channel_adapters.values():
+        for coord, chip in self.machine.chips.items():
+            for key, ca in chip.channel_adapters.items():
                 link = ca.output_or_none("channel")
                 if link is not None and link.monitor is None:
-                    monitor = LinkMonitor(link, self.hub, self.tracer)
+                    (axis, sign), slice_index = key
+                    neighbor = torus.neighbor(coord, axis, sign)
+                    endpoints = {
+                        "src": torus.node_id(coord),
+                        "dst": torus.node_id(neighbor),
+                        "axis": axis,
+                        "sign": sign,
+                        "slice": slice_index,
+                    }
+                    monitor = LinkMonitor(link, self.hub, self.tracer,
+                                          endpoints=endpoints)
                     link.monitor = monitor
                     self.monitors.append(monitor)
 
@@ -217,6 +258,24 @@ class Observer:
         if start is not None:
             hub.summary("fence/node_wait_ns").observe(now - start)
         hub.slice_counter("fence/node_completions").add(now)
+        node_id = self.machine.torus.node_id(coord)
+        record = self._fence_records.get(fence_id)
+        if record is None:
+            self._fence_records[fence_id] = {
+                "fence_id": fence_id,
+                "start_ns": start if start is not None else now,
+                "first_ns": now,
+                "last_ns": now,
+                "straggler": node_id,
+                "completions": 1,
+            }
+        else:
+            record["completions"] += 1
+            # Ties resolve to the latest completion in event order —
+            # deterministic, since event order is fixed by the config.
+            if now >= record["last_ns"]:
+                record["last_ns"] = now
+                record["straggler"] = node_id
 
     def on_fault_epoch(self, epoch: int) -> None:
         hub = self.hub
@@ -244,6 +303,22 @@ class Observer:
                 "end_ns": end_ns,
                 **self.hub.slices_jsonable(end_ns),
                 "stats": self.hub.snapshot(),
+                # Forensics inputs: the torus shape, every monitored
+                # link's endpoints (stall attribution needs the
+                # *downstream* identity), and per-fence completion
+                # records (critical-path stragglers).
+                "topology": {
+                    "dims": list(self.machine.torus.dims.as_tuple()),
+                },
+                "links": {
+                    monitor.link.name: monitor.endpoints
+                    for monitor in self.monitors
+                    if monitor.endpoints is not None
+                },
+                "fences": [
+                    self._fence_records[fence_id]
+                    for fence_id in sorted(self._fence_records)
+                ],
             }
         if self.tracer is not None:
             payload["trace"] = {

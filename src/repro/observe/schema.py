@@ -13,11 +13,13 @@ from __future__ import annotations
 from typing import Mapping
 
 __all__ = [
+    "DIAGNOSIS_SCHEMA_ID",
     "LEDGER_SCHEMA_ID",
     "METRICS_SCHEMA_ID",
     "STATUS_SCHEMA_ID",
     "TRACE_SCHEMA_ID",
     "validate_chrome_trace",
+    "validate_diagnosis",
     "validate_ledger_record",
     "validate_metrics",
     "validate_status_event",
@@ -28,6 +30,7 @@ METRICS_SCHEMA_ID = "repro.observe.metrics/1"
 TRACE_SCHEMA_ID = "repro.observe.trace/1"
 LEDGER_SCHEMA_ID = "repro.observe.ledger/1"
 STATUS_SCHEMA_ID = "repro.observe.status/1"
+DIAGNOSIS_SCHEMA_ID = "repro.observe.diagnosis/1"
 
 
 def _require(condition: bool, message: str) -> None:
@@ -73,6 +76,36 @@ def validate_metrics(payload: Mapping) -> None:
     for section in ("counters", "summaries", "histograms", "series"):
         _require(isinstance(stats.get(section), Mapping),
                  f"metrics stats.{section} must be a mapping")
+    # Forensics sections (optional: pre-forensics artifacts lack them).
+    if "topology" in payload:
+        topology = payload["topology"]
+        _require(isinstance(topology, Mapping)
+                 and isinstance(topology.get("dims"), list)
+                 and len(topology["dims"]) == 3
+                 and all(isinstance(d, int) and d >= 1
+                         for d in topology["dims"]),
+                 "metrics topology.dims must be three positive integers")
+    if "links" in payload:
+        links = payload["links"]
+        _require(isinstance(links, Mapping), "metrics links must be a mapping")
+        for name, endpoints in links.items():
+            _require(isinstance(endpoints, Mapping),
+                     f"link {name!r} endpoints must be a mapping")
+            for key in ("src", "dst", "axis", "sign", "slice"):
+                _require(isinstance(endpoints.get(key), int),
+                         f"link {name!r} endpoints.{key} must be an integer")
+    if "fences" in payload:
+        fences = payload["fences"]
+        _require(isinstance(fences, list), "metrics fences must be a list")
+        for index, fence in enumerate(fences):
+            where = f"fences[{index}]"
+            _require(isinstance(fence, Mapping), f"{where} is not a mapping")
+            for key in ("fence_id", "straggler", "completions"):
+                _require(isinstance(fence.get(key), int),
+                         f"{where}.{key} must be an integer")
+            for key in ("start_ns", "first_ns", "last_ns"):
+                _require(_number(fence.get(key)),
+                         f"{where}.{key} must be a number")
 
 
 def validate_trace(payload: Mapping) -> None:
@@ -131,6 +164,96 @@ def validate_chrome_trace(payload: Mapping) -> None:
         elif phase == "i":
             _require(_number(event.get("ts")),
                      f"{where} instant event needs ts")
+
+
+def validate_diagnosis(payload: Mapping) -> None:
+    """Validate one machine's diagnosis payload (raises ``ValueError``).
+
+    The diagnosis layer is derived (``repro-runner diagnose``), so this
+    checks the analysis sections the forensics module promises: latency
+    decomposition classes whose components sum to the measured
+    end-to-end latency, backpressure rows with downstream attribution,
+    fence critical paths, and heatmaps shaped to the torus.
+    """
+    _require(isinstance(payload, Mapping),
+             "diagnosis payload is not a mapping")
+    _require(payload.get("schema") == DIAGNOSIS_SCHEMA_ID,
+             f"diagnosis schema is {payload.get('schema')!r}, "
+             f"expected {DIAGNOSIS_SCHEMA_ID!r}")
+    _require(_number(payload.get("end_ns")) and payload["end_ns"] >= 0,
+             "diagnosis end_ns must be a non-negative number")
+    latency = payload.get("latency")
+    _require(latency is None or isinstance(latency, Mapping),
+             "diagnosis latency must be a mapping or null")
+    if isinstance(latency, Mapping):
+        classes = latency.get("classes")
+        _require(isinstance(classes, list),
+                 "diagnosis latency.classes must be a list")
+        for index, row in enumerate(classes):
+            where = f"latency.classes[{index}]"
+            _require(isinstance(row, Mapping), f"{where} is not a mapping")
+            _require(isinstance(row.get("hops"), int) and row["hops"] >= 0,
+                     f"{where}.hops must be a non-negative integer")
+            _require(isinstance(row.get("packets"), int)
+                     and row["packets"] >= 1,
+                     f"{where}.packets must be a positive integer")
+            mean = row.get("mean_ns")
+            _require(isinstance(mean, Mapping),
+                     f"{where}.mean_ns must be a mapping")
+            _require(all(_number(value) for value in mean.values()),
+                     f"{where}.mean_ns has a non-numeric component")
+            _require(_number(row.get("end_to_end_ns")),
+                     f"{where}.end_to_end_ns must be a number")
+            total = sum(mean.values())
+            _require(abs(total - row["end_to_end_ns"])
+                     <= 1e-6 * max(1.0, abs(row["end_to_end_ns"])),
+                     f"{where} components must sum to end_to_end_ns")
+    backpressure = payload.get("backpressure")
+    _require(isinstance(backpressure, Mapping),
+             "diagnosis backpressure must be a mapping")
+    for section in ("saturated", "root_causes", "trees"):
+        _require(isinstance(backpressure.get(section), list),
+                 f"diagnosis backpressure.{section} must be a list")
+    for index, row in enumerate(backpressure["saturated"]):
+        where = f"backpressure.saturated[{index}]"
+        _require(isinstance(row, Mapping), f"{where} is not a mapping")
+        _require(isinstance(row.get("link"), str) and row["link"],
+                 f"{where}.link must be a non-empty string")
+        _require(isinstance(row.get("dst"), int),
+                 f"{where}.dst must be an integer node id")
+        _require(_number(row.get("busy_fraction")),
+                 f"{where}.busy_fraction must be a number")
+        _require(isinstance(row.get("stalls"), int) and row["stalls"] >= 0,
+                 f"{where}.stalls must be a non-negative integer")
+    for index, row in enumerate(backpressure["root_causes"]):
+        where = f"backpressure.root_causes[{index}]"
+        _require(isinstance(row, Mapping), f"{where} is not a mapping")
+        _require(isinstance(row.get("node"), int),
+                 f"{where}.node must be an integer node id")
+        _require(_number(row.get("score")),
+                 f"{where}.score must be a number")
+    fences = payload.get("fences")
+    _require(isinstance(fences, Mapping),
+             "diagnosis fences must be a mapping")
+    _require(isinstance(fences.get("critical_paths"), list),
+             "diagnosis fences.critical_paths must be a list")
+    heatmaps = payload.get("heatmaps")
+    _require(isinstance(heatmaps, list), "diagnosis heatmaps must be a list")
+    for index, heatmap in enumerate(heatmaps):
+        where = f"heatmaps[{index}]"
+        _require(isinstance(heatmap, Mapping), f"{where} is not a mapping")
+        _require(isinstance(heatmap.get("metric"), str) and heatmap["metric"],
+                 f"{where}.metric must be a non-empty string")
+        dims = heatmap.get("dims")
+        _require(isinstance(dims, list) and len(dims) == 3
+                 and all(isinstance(d, int) and d >= 1 for d in dims),
+                 f"{where}.dims must be three positive integers")
+        values = heatmap.get("values")
+        _require(isinstance(values, list)
+                 and len(values) == dims[0] * dims[1] * dims[2],
+                 f"{where}.values must carry one value per node")
+        _require(all(_number(value) for value in values),
+                 f"{where}.values has a non-numeric entry")
 
 
 def validate_ledger_record(record: Mapping) -> None:

@@ -212,6 +212,31 @@ class ResultCache:
             "orphaned_bytes": orphaned_size,
         }
 
+    def ledger_stats(self) -> Dict[str, int]:
+        """Record/event counts and on-disk bytes of the sibling ledger.
+
+        The ledger is append-only and never pruned, so ``cache stats``
+        is where its growth becomes visible: deterministic run records
+        (``ledger.jsonl``) and worker heartbeats (``status.jsonl``).
+        """
+        from ..observe.ledger import (
+            LEDGER_DIRNAME,
+            LEDGER_FILENAME,
+            STATUS_FILENAME,
+            read_jsonl,
+        )
+
+        directory = self.root / LEDGER_DIRNAME
+        record_path = directory / LEDGER_FILENAME
+        status_path = directory / STATUS_FILENAME
+        return {
+            "records": len(read_jsonl(record_path, strict=False)),
+            "status_events": len(read_jsonl(status_path, strict=False)),
+            "bytes": sum(path.stat().st_size
+                         for path in (record_path, status_path)
+                         if path.is_file()),
+        }
+
     def prune(self, registered: Mapping[str, int]) -> Dict[str, int]:
         """Delete entries whose ``(experiment, version)`` is not registered.
 

@@ -11,7 +11,14 @@ Subcommands:
 * ``report`` — format sweep output (or the cache) as a table or CSV;
   ``--timeline`` renders sliced observability metrics as ASCII charts.
 * ``trace {export,list}`` — Chrome/Perfetto export of recorded packet
-  traces, and the artifact inventory.
+  traces (``--packet NODE,SEQ`` for one packet's lifecycle), and the
+  artifact inventory.
+* ``diagnose DIGEST [--compare DIGEST]`` — automated root-cause
+  forensics over an observed run's artifacts
+  (:mod:`repro.analysis.forensics`): per-hop latency decomposition,
+  backpressure attribution with saturation trees, fence critical
+  paths, and topology heatmaps; stores a ``<digest>.diagnosis.json``
+  artifact beside the metrics/trace layers.
 * ``profile EXPERIMENT`` — cProfile one configuration and attribute
   wall-clock to repro subsystems.
 * ``bench`` — the pinned benchmark grid (``BENCH_<rev>.json``).
@@ -358,6 +365,49 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     trace_parser.add_argument(
+        "--packet",
+        default=None,
+        metavar="NODE,SEQ",
+        help="with export: only this packet's lifecycle (its stable "
+        "trace identity: injecting node id, per-chip sequence number)",
+    )
+    trace_parser.add_argument(
+        "--output", "-o", default="-", help="output path (default: stdout)"
+    )
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="root-cause forensics over an observed run's artifacts",
+    )
+    diagnose_parser.add_argument(
+        "digest",
+        help="config digest (or unique prefix) of an observed run with "
+        "a metrics artifact beside the cache",
+    )
+    diagnose_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="DIGEST",
+        help="diff the diagnosis against a second observed run "
+        "(policy-ablation forensics)",
+    )
+    diagnose_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    diagnose_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diagnosis (or the comparison) as JSON on stdout",
+    )
+    diagnose_parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="do not store <digest>.diagnosis.json beside the "
+        "metrics/trace artifacts",
+    )
+    diagnose_parser.add_argument(
         "--output", "-o", default="-", help="output path (default: stdout)"
     )
 
@@ -438,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    ledger_parser.add_argument(
+        "--experiment",
+        default=None,
+        help="with list: only records of this experiment",
+    )
+    ledger_parser.add_argument(
+        "--sweep",
+        default=None,
+        help="with list: only records of this sweep label",
     )
     ledger_parser.add_argument(
         "--json",
@@ -738,6 +798,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         total_entries = sum(bucket["entries"] for bucket in stats.values())
         total_bytes = sum(bucket["bytes"] for bucket in stats.values())
         observe = cache.observe_stats()
+        ledger = cache.ledger_stats()
         if args.json:
             payload = {
                 "root": str(cache.root),
@@ -757,6 +818,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 ],
                 "total": {"entries": total_entries, "bytes": total_bytes},
                 "observe": observe,
+                "ledger": ledger,
             }
             sys.stdout.write(
                 json.dumps(payload, sort_keys=True, indent=2) + "\n")
@@ -777,6 +839,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{observe['bytes']} bytes "
                 f"({observe['orphaned']} orphaned, "
                 f"{observe['orphaned_bytes']} bytes reclaimable by prune)"
+            )
+        if ledger["records"] or ledger["status_events"]:
+            print(
+                f"ledger: {ledger['records']} run records, "
+                f"{ledger['status_events']} status events, "
+                f"{ledger['bytes']} bytes"
             )
         return 0
     # prune
@@ -853,12 +921,85 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: {path} is a {artifact.get('layer')!r} artifact, "
               "not a trace", file=sys.stderr)
         return 2
+    machines = artifact["machines"]
+    if args.packet is not None:
+        packet_id = _parse_packet(args.packet)
+        machines = [
+            {**machine,
+             "spans": [span for span in machine.get("spans", [])
+                       if list(span.get("trace_id", [])) == packet_id]}
+            for machine in machines
+        ]
+        if not any(machine["spans"] for machine in machines):
+            print(f"error: no spans for packet {args.packet} in {path}",
+                  file=sys.stderr)
+            return 2
     events = []
-    for pid, machine in enumerate(artifact["machines"]):
+    for pid, machine in enumerate(machines):
         events.extend(chrome_trace_events(machine, pid=pid))
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     _write_or_stdout(
         args, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return 0
+
+
+def _parse_packet(spec: str) -> List[int]:
+    """Parse the ``--packet NODE,SEQ`` stable trace identity."""
+    parts = spec.split(",")
+    try:
+        node, seq = (int(part) for part in parts)
+    except ValueError:
+        raise ValueError(
+            f"--packet expects NODE,SEQ integers, got {spec!r}") from None
+    if node < 0 or seq < 0:
+        raise ValueError(f"--packet ids must be non-negative, got {spec!r}")
+    return [node, seq]
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from ..analysis.forensics import (
+        compare_diagnoses,
+        diagnose_run,
+        render_comparison,
+        render_diagnosis,
+    )
+    from ..observe.artifacts import find_artifact, load_artifact, write_artifact
+
+    directory = _artifact_dir(args)
+
+    def diagnose_one(digest_prefix: str):
+        metrics_path = find_artifact(directory, digest_prefix, "metrics")
+        if metrics_path is None:
+            raise ValueError(
+                f"no metrics artifact for digest {digest_prefix!r} under "
+                f"{directory}; run the configuration with --observe first")
+        metrics = load_artifact(metrics_path)
+        digest = str(metrics.get("digest")
+                     or metrics_path.name.split(".")[0])
+        trace_path = find_artifact(directory, digest, "trace")
+        trace = load_artifact(trace_path) if trace_path is not None else None
+        machines = diagnose_run(metrics, trace)
+        if not args.no_write:
+            path = write_artifact(directory, digest, "diagnosis", machines)
+            print(f"diagnose: wrote {path}", file=sys.stderr)
+        return {"digest": digest, "layer": "diagnosis",
+                "machines": machines}
+
+    diagnosis = diagnose_one(args.digest)
+    if args.compare is not None:
+        other = diagnose_one(args.compare)
+        diff = compare_diagnoses(diagnosis, other)
+        if args.json:
+            text = json.dumps(diff, sort_keys=True, indent=2) + "\n"
+        else:
+            text = render_comparison(diff)
+        _write_or_stdout(args, text)
+        return 0
+    if args.json:
+        text = json.dumps(diagnosis, sort_keys=True, indent=2) + "\n"
+    else:
+        text = render_diagnosis(diagnosis["digest"], diagnosis["machines"])
+    _write_or_stdout(args, text)
     return 0
 
 
@@ -951,11 +1092,24 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     if not records:
         print(f"no ledger records at {ledger.record_path}", file=sys.stderr)
         return 2 if args.action != "list" else 0
+    if args.action != "list" and (args.experiment or args.sweep):
+        print("error: --experiment/--sweep only apply to ledger list",
+              file=sys.stderr)
+        return 2
     if args.action == "list":
         if args.digests:
             print("error: ledger list takes no digest arguments",
                   file=sys.stderr)
             return 2
+        if args.experiment is not None:
+            records = [record for record in records
+                       if record.get("experiment") == args.experiment]
+        if args.sweep is not None:
+            records = [record for record in records
+                       if record.get("sweep") == args.sweep]
+        if not records:
+            print("no ledger records match the filters", file=sys.stderr)
+            return 0
         if args.json:
             sys.stdout.write(
                 json.dumps(records, sort_keys=True, indent=2) + "\n")
@@ -1173,6 +1327,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "diagnose":
+            return _cmd_diagnose(args)
         if args.command == "profile":
             return _cmd_profile(args)
         if args.command == "bench":
